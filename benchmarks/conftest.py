@@ -1,0 +1,45 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table/figure of the paper via the
+:mod:`repro.bench` drivers, times the regeneration with
+pytest-benchmark, asserts the paper's qualitative shape, and writes the
+reproduced table to ``benchmarks/results/<name>.txt``.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_FULL=1`` for paper-scale parameters (slower).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench import BenchConfig, format_table
+from repro.bench.harness import is_full_profile
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def config() -> BenchConfig:
+    if is_full_profile():
+        return BenchConfig(seed=7, num_samples=200, max_evaluations=3000)
+    return BenchConfig(seed=7, num_samples=100, max_evaluations=800, runs_per_plan=8)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Writes a reproduced table to the results directory and echoes it."""
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, rows, title: str) -> None:
+        text = format_table(rows, title)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print("\n" + text)
+
+    return _report

@@ -1,0 +1,79 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+1. Probabilistic vs deterministic constraint notions (the paper's core
+   argument): the deterministic plan is cheaper but misses the
+   requirement; the probabilistic plan meets it.
+2. Monte Carlo iteration count: estimate error shrinks with samples.
+3. A* pruning: far fewer expansions than uninformed search, same optimum.
+4. Warm-started vs cold transformation search.
+"""
+
+import pytest
+
+from repro.bench import (
+    ablation_astar_pruning,
+    ablation_mc_iterations,
+    ablation_probabilistic_vs_deterministic,
+    ablation_search_seeds,
+)
+
+
+def test_probabilistic_vs_deterministic(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: ablation_probabilistic_vs_deterministic(config), rounds=1, iterations=1
+    )
+    report("ablation_probabilistic", rows, "Ablation: probabilistic vs deterministic")
+
+    prob = next(r for r in rows if r["notion"] == "probabilistic")
+    det = next(r for r in rows if r["notion"] == "deterministic")
+    assert prob["meets_requirement"]
+    assert prob["deadline_hit_rate"] >= det["deadline_hit_rate"] - 1e-9
+    assert det["expected_cost"] <= prob["expected_cost"] + 1e-9
+
+
+def test_mc_iterations(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: ablation_mc_iterations(config, sample_counts=(10, 50, 200)),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_mc_iterations", rows, "Ablation: Monte Carlo iteration count")
+
+    # Error shrinks (weakly) with more samples.
+    assert rows[-1]["abs_error"] <= rows[0]["abs_error"] + 0.05
+    assert rows[-1]["std"] <= rows[0]["std"] + 0.05
+
+
+def test_astar_pruning(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: ablation_astar_pruning(config), rounds=1, iterations=1)
+    report("ablation_astar", rows, "Ablation: A* vs uninformed admission search")
+
+    astar = next(r for r in rows if r["variant"] == "astar")
+    blind = next(r for r in rows if r["variant"] == "uninformed")
+    assert astar["score"] == pytest.approx(blind["score"])
+    assert astar["expanded"] <= blind["expanded"]
+
+
+def test_search_seeds(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: ablation_search_seeds(config), rounds=1, iterations=1)
+    report("ablation_seeds", rows, "Ablation: warm-start seeds")
+
+    warm = next(r for r in rows if r["variant"] == "warm")
+    assert warm["feasible"]
+
+
+def test_failure_injection(benchmark, config, report):
+    from repro.bench import ablation_failure_injection
+
+    rows = benchmark.pedantic(
+        lambda: ablation_failure_injection(config, failure_rates=(0.0, 0.1, 0.2)),
+        rounds=1,
+        iterations=1,
+    )
+    report("ablation_failures", rows, "Ablation: task-failure injection")
+
+    assert rows[0]["deadline_hit_rate"] >= rows[-1]["deadline_hit_rate"] - 1e-9
+    assert rows[-1]["mean_makespan"] > rows[0]["mean_makespan"]
+    # Billed cost is hour-quantized, so on sub-hour tasks the retry cost
+    # shows up as makespan, not dollars; just require it stays in band.
+    assert rows[-1]["mean_cost"] >= rows[0]["mean_cost"] * 0.9

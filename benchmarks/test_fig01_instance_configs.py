@@ -1,0 +1,22 @@
+"""Figure 1: Montage cost under seven instance configurations.
+
+Paper shapes asserted: m1.small / m1.medium miss the deadline; among
+deadline-meeting configurations Deco is the cheapest; Deco lands well
+below m1.xlarge (the paper reports ~40% of its cost).
+"""
+
+from repro.bench import fig01_instance_configs
+
+
+def test_fig01(benchmark, config, report):
+    rows = benchmark.pedantic(
+        lambda: fig01_instance_configs(config), rounds=1, iterations=1
+    )
+    report("fig01_instance_configs", rows, "Figure 1: Montage cost per configuration")
+
+    by_name = {r["config"]: r for r in rows}
+    assert not by_name["m1.small"]["meets_deadline"]
+    assert by_name["deco"]["meets_deadline"]
+    feasible = [r for r in rows if r["meets_deadline"]]
+    assert by_name["deco"]["mean_cost"] == min(r["mean_cost"] for r in feasible)
+    assert by_name["deco"]["cost_norm"] < 0.6

@@ -1,0 +1,21 @@
+"""Figure 2: execution-time variance of Deco-optimized Montage plans.
+
+Paper shape: the normalized execution time of Montage-1/4/8 varies
+significantly across repeated runs (I/O and network interference).
+"""
+
+from repro.bench import fig02_runtime_variance
+from repro.bench.harness import is_full_profile
+
+
+def test_fig02(benchmark, config, report):
+    degrees = (1.0, 4.0, 8.0) if is_full_profile() else (1.0, 4.0)
+    rows = benchmark.pedantic(
+        lambda: fig02_runtime_variance(config, degrees=degrees), rounds=1, iterations=1
+    )
+    report("fig02_runtime_variance", rows, "Figure 2: normalized makespan quantiles")
+
+    for row in rows:
+        assert row["min"] < row["median"] < row["max"]
+        assert row["spread"] > 0.02, f"{row['workflow']} shows no dynamics"
+        assert row["p25"] <= 1.0 <= row["p75"] or row["spread"] > 0.05

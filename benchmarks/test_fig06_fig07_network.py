@@ -1,0 +1,27 @@
+"""Figures 6-7: network performance dynamics and pairwise histograms.
+
+Paper shapes: m1.medium network performance varies substantially and is
+well modeled by a Normal distribution (Fig. 6); the large<->large link
+is faster and tighter than medium<->large (Fig. 7), i.e. better
+instances buy steadier network performance.
+"""
+
+from repro.bench import fig06_network_dynamics, fig07_network_histograms
+
+
+def test_fig06(benchmark, config, report):
+    row = benchmark.pedantic(lambda: fig06_network_dynamics(config), rounds=1, iterations=1)
+    report("fig06_network_dynamics", [row], "Figure 6: m1.medium network dynamics")
+
+    assert row["max_relative_variation"] > 0.5  # "up to 50%" variance
+    assert row["normal_fit_accepted"]
+
+
+def test_fig07(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: fig07_network_histograms(config), rounds=1, iterations=1)
+    report("fig07_network_histograms", rows, "Figure 7: pairwise link histograms")
+
+    ll = next(r for r in rows if r["link"] == "m1.large<->m1.large")
+    ml = next(r for r in rows if r["link"] == "m1.medium<->m1.large")
+    assert ll["mean_mbps"] > ml["mean_mbps"]
+    assert ll["cv"] < ml["cv"]

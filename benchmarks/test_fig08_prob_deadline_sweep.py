@@ -1,0 +1,35 @@
+"""Figure 8: cost/time vs probabilistic deadline, Deco vs Autoscaling.
+
+Paper shapes: Deco never pays more than Autoscaling in its optimization
+objective at the same probabilistic guarantee, and both plans satisfy
+the requirement.  (The paper reports 30-50% measured-cost reductions;
+our Autoscaling implementation plus identical runtime models narrows
+the gap -- see EXPERIMENTS.md for the measured numbers.)
+"""
+
+from repro.bench import fig08_probabilistic_deadline_sweep
+from repro.bench.harness import is_full_profile
+
+
+def test_fig08(benchmark, config, report):
+    if is_full_profile():
+        degrees = (1.0, 4.0, 8.0)
+        percentiles = (90.0, 92.0, 94.0, 96.0, 98.0, 99.9)
+    else:
+        degrees = (1.0, 4.0)
+        percentiles = (90.0, 96.0, 99.9)
+    rows = benchmark.pedantic(
+        lambda: fig08_probabilistic_deadline_sweep(config, degrees=degrees, percentiles=percentiles),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig08_prob_deadline_sweep", rows, "Figure 8: probabilistic deadline sweep")
+
+    for row in rows:
+        # Deco meets the probabilistic requirement it optimized for.
+        assert row["deco_prob"] >= row["percentile"] / 100.0 - 1e-9
+        # Deco's objective (Eq. 1 expected cost) never exceeds Autoscaling's.
+        assert row["expected_cost_norm"] <= 1.0 + 1e-6
+    # Measured cost: Deco wins on average across the sweep.
+    mean_norm = sum(r["cost_norm"] for r in rows) / len(rows)
+    assert mean_norm <= 1.05

@@ -1,0 +1,34 @@
+"""Figure 10: follow-the-cost migration, Deco vs the Heuristic baseline.
+
+Paper shapes: (a) Deco's total cost is the lowest at every fleet size,
+with a gap that grows with workflow size; (b) Deco stays below the
+Heuristic at every re-optimization threshold.
+"""
+
+from repro.bench import fig10_follow_the_cost
+from repro.bench.harness import is_full_profile
+
+
+def test_fig10(benchmark, config, report):
+    degrees = (1.0, 4.0, 8.0) if is_full_profile() else (1.0, 4.0)
+    thresholds = (0.1, 0.3, 0.5, 0.7, 0.9) if is_full_profile() else (0.1, 0.5, 0.9)
+    out = benchmark.pedantic(
+        lambda: fig10_follow_the_cost(config, degrees=degrees, thresholds=thresholds),
+        rounds=1,
+        iterations=1,
+    )
+    report("fig10a_follow_the_cost_by_size", out["by_size"], "Figure 10a: cost vs fleet size")
+    report(
+        "fig10b_follow_the_cost_by_threshold",
+        out["by_threshold"],
+        "Figure 10b: cost vs heuristic threshold",
+    )
+
+    for row in out["by_size"]:
+        assert row["deco_cost"] <= row["heuristic_cost"] * 1.02
+        assert row["deco_cost"] <= row["static_cost"] * 1.02
+    # Gap grows with workflow size.
+    norms = [r["cost_norm"] for r in out["by_size"]]
+    assert norms[-1] <= norms[0] + 1e-9
+    for row in out["by_threshold"]:
+        assert row["deco_cost"] <= row["heuristic_cost"] * 1.02

@@ -1,0 +1,24 @@
+"""Figure 11: tight/medium/loose deadline sensitivity on Montage-8.
+
+Paper shapes: Deco's expected cost decreases as the deadline loosens
+(cheaper instances become admissible) while the execution time grows;
+Deco does not exceed Autoscaling's cost in its objective.
+"""
+
+from repro.bench import fig11_deadline_sensitivity
+from repro.bench.harness import is_full_profile
+
+
+def test_fig11(benchmark, config, report):
+    degrees = 8.0 if is_full_profile() else 4.0
+    rows = benchmark.pedantic(
+        lambda: fig11_deadline_sensitivity(config, degrees=degrees), rounds=1, iterations=1
+    )
+    report("fig11_deadline_sensitivity", rows, "Figure 11: deadline sensitivity")
+
+    assert [r["deadline"] for r in rows] == ["tight", "medium", "loose"]
+    # Deadline monotone in the expected objective.
+    assert rows[0]["deco_expected_cost"] >= rows[1]["deco_expected_cost"] - 1e-9
+    assert rows[1]["deco_expected_cost"] >= rows[2]["deco_expected_cost"] - 1e-9
+    # Execution time grows as the deadline loosens.
+    assert rows[0]["deco_time"] <= rows[2]["deco_time"] * 1.05

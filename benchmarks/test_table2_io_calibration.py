@@ -1,0 +1,32 @@
+"""Table 2: fitted I/O performance distributions per instance type.
+
+Paper shape: sequential I/O follows a Gamma distribution and random
+I/O a Normal distribution on every type; the fitted parameters must
+recover the ground-truth values (which are the paper's Table 2).
+"""
+
+import pytest
+
+from repro.bench import table2_io_distributions
+
+#: The paper's Table 2 (theta converted to bytes/s in our catalog).
+PAPER_TABLE2 = {
+    "m1.small": dict(k=129.3, theta=0.79e6, mu=150.3, sigma=50.0),
+    "m1.medium": dict(k=127.1, theta=0.80e6, mu=128.9, sigma=8.4),
+    "m1.large": dict(k=376.6, theta=0.28e6, mu=172.9, sigma=34.8),
+    "m1.xlarge": dict(k=408.1, theta=0.26e6, mu=1034.0, sigma=146.4),
+}
+
+
+def test_table2(benchmark, config, report):
+    rows = benchmark.pedantic(lambda: table2_io_distributions(config), rounds=1, iterations=1)
+    report("table2_io_calibration", rows, "Table 2: I/O performance distributions")
+
+    for row in rows:
+        truth = PAPER_TABLE2[row["instance_type"]]
+        assert row["seq_io_family"] == "gamma"
+        assert row["rand_io_family"] == "normal"
+        assert row["seq_io_k"] == pytest.approx(truth["k"], rel=0.15)
+        assert row["seq_io_theta"] == pytest.approx(truth["theta"], rel=0.15)
+        assert row["rand_io_mu"] == pytest.approx(truth["mu"], rel=0.05)
+        assert row["rand_io_sigma"] == pytest.approx(truth["sigma"], rel=0.2)

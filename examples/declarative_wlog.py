@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""The declarative path: write WLog, let the engine do the rest.
+
+This is the paper's Example 1 end to end: the user states the
+optimization goal, the probabilistic deadline constraint and the
+decision variables *declaratively*; Deco translates the program to the
+probabilistic IR, compiles it to arrays, and searches with the
+vectorized solver.  The same program is also evaluated through the
+reference Prolog interpreter (Algorithm 1) to show both semantics agree.
+
+Run:  python examples/declarative_wlog.py
+"""
+
+from __future__ import annotations
+
+from repro.cloud import ec2_catalog
+from repro.engine import Deco
+from repro.wlog import ImportRegistry, WLogProgram, translate
+from repro.wlog.imports import vm_atom
+from repro.wlog.library import scheduling_program
+from repro.wlog.terms import Atom, Num, Rule, Struct
+from repro.workflow import pipeline
+
+
+def main() -> None:
+    catalog = ec2_catalog()
+    # A small pipeline so the reference interpreter stays fast.
+    workflow = pipeline(num_tasks=4, runtime=600.0, data_mb=2000.0, seed=7)
+
+    registry = ImportRegistry()
+    registry.register_cloud("amazonec2", catalog)
+    registry.register_workflow("montage", workflow)
+
+    deadline = 4 * 900.0  # seconds
+    source = scheduling_program(percentile=95, deadline_seconds=deadline)
+    print("WLog program (the paper's Example 1):")
+    print(source)
+
+    # --- declarative solve (compiled, vectorized) ------------------------
+    deco = Deco(catalog, seed=7, num_samples=200, max_evaluations=500)
+    plan = deco.solve_program(source, registry)
+    print(f"Deco plan: {plan.type_counts()}  expected cost ${plan.expected_cost:.4f}  "
+          f"P(makespan <= D) = {plan.probability:.2f}")
+
+    # --- the same semantics through the reference interpreter ------------
+    program = WLogProgram.from_source(source)
+    ir = translate(program, registry)
+    configs = tuple(
+        Rule(Struct("configs", (Atom(tid), vm_atom(plan.assignment[tid]), Num(1.0))))
+        for tid in workflow.task_ids
+    )
+    evaluation = ir.evaluate(configs, max_iter=100, seed=7)
+    print(f"\nAlgorithm-1 interpreter check on the same plan: "
+          f"goal = ${evaluation.goal_value:.4f}, "
+          f"P(constraint) = {evaluation.constraint_probabilities[0]:.2f}, "
+          f"feasible = {evaluation.feasible}")
+
+    # --- ad-hoc queries against the translated program -------------------
+    from repro.wlog.engine import Engine
+
+    db = ir.deterministic_database(configs)
+    engine = Engine(db)
+    print("\nAd-hoc WLog queries against the deterministic database:")
+    print("  cheapest vm:", min(
+        ((s["V"], s["P"].value) for s in engine.query("price(V, P)")),
+        key=lambda x: x[1],
+    ))
+    makespan = engine.first("maxtime(Path, T)")
+    print(f"  maxtime(Path, T) -> T = {makespan['T'].value:.0f} s "
+          f"(deadline {deadline:.0f} s)")
+
+    assert abs(plan.expected_cost - evaluation.goal_value) / evaluation.goal_value < 0.1
+    print("\nOK: compiled and interpreted evaluations agree.")
+
+
+if __name__ == "__main__":
+    main()

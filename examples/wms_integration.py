@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""WMS integration: the paper's Fig. 3 pipeline end to end.
+
+A Montage workflow is written to a Pegasus DAX file, submitted to the
+lightweight WMS, planned by the mapper, scheduled by the Deco callout,
+executed on the simulated cloud, and tracked through the Condor-style
+job queue -- the full integration surface of the paper.
+
+Run:  python examples/wms_integration.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro.cloud import ec2_catalog
+from repro.engine import Deco
+from repro.wms import DecoScheduler, Mapper, PegasusLite, RandomScheduler
+from repro.workflow import montage, write_dax
+
+
+def main() -> None:
+    catalog = ec2_catalog()
+    workflow = montage(degrees=1, seed=33)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        dax_path = Path(tmp) / "montage-1.dax"
+        write_dax(workflow, dax_path)
+        print(f"Wrote DAX: {dax_path.name} "
+              f"({len(dax_path.read_text().splitlines())} lines)")
+
+        mapper = Mapper({"mProjectPP": "/opt/montage/bin/mProjectPP"})
+        deco = Deco(catalog, seed=33, num_samples=100, max_evaluations=800)
+
+        print("\nScheduler comparison (same DAX, same cloud dynamics):")
+        print(f"{'scheduler':<12} {'makespan':>10} {'billed cost':>12}")
+        for scheduler in (
+            RandomScheduler(catalog, seed=33),      # Pegasus's default
+            DecoScheduler(deco, deadline="medium"),  # the paper's callout
+        ):
+            wms = PegasusLite(catalog, scheduler, mapper=mapper, seed=33)
+            result = wms.submit(dax_path)
+            print(f"{scheduler.name:<12} {result.makespan / 3600:8.2f} h "
+                  f"${result.cost:10.2f}")
+
+        # Inspect the DAGMan-style event log of the last submission.
+        print("\nFirst Condor events of the Deco run:")
+        for event in result.events[:6]:
+            print(f"  {event!r}")
+        done = sum(1 for e in result.events if e.state.value == "done")
+        print(f"  ... {done}/{len(workflow)} jobs completed")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""State-of-the-art comparison algorithms (paper Section 6.1).
+
+* :mod:`~repro.baselines.autoscaling` -- Mao & Humphrey's Auto-scaling
+  (SC'11): deadline assignment over workflow levels + cheapest-feasible
+  type per task.  The comparison baseline of use case 1.
+* :mod:`~repro.baselines.spss` -- Malawski et al.'s SPSS (SC'12):
+  static provisioning / static scheduling for workflow ensembles, the
+  comparison baseline of use case 2.
+* :mod:`~repro.baselines.static` -- the single-instance-type and Random
+  schedulers of Fig. 1 (Random is also Pegasus's default site selector).
+
+The follow-the-cost *Heuristic* baseline is the ``policy="heuristic"``
+mode of :class:`repro.engine.followcost.FollowCostDriver` (it shares
+the runtime simulation with Deco's policy by construction, as in the
+paper's evaluation).
+"""
+
+from repro.baselines.autoscaling import autoscaling_plan, autoscaling_plan_calibrated
+from repro.baselines.spss import spss_decide, SpssDecision
+from repro.baselines.static import single_type_plan, random_plan
+
+__all__ = [
+    "autoscaling_plan",
+    "autoscaling_plan_calibrated",
+    "spss_decide",
+    "SpssDecision",
+    "single_type_plan",
+    "random_plan",
+]

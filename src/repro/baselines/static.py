@@ -1,0 +1,26 @@
+"""Static schedulers: single-instance-type and Random (paper Fig. 1).
+
+``random_plan`` is also the behaviour of Pegasus's default *Random*
+site selector the paper mentions in Section 2.
+"""
+
+from __future__ import annotations
+
+from repro.common.rng import spawn_rng
+from repro.cloud.instance_types import Catalog
+from repro.workflow.dag import Workflow
+
+__all__ = ["single_type_plan", "random_plan"]
+
+
+def single_type_plan(workflow: Workflow, type_name: str, catalog: Catalog) -> dict[str, str]:
+    """Every task on one instance type (the m1.* bars of Fig. 1)."""
+    catalog.type(type_name)  # validate
+    return {tid: type_name for tid in workflow.task_ids}
+
+
+def random_plan(workflow: Workflow, catalog: Catalog, seed: int = 0) -> dict[str, str]:
+    """Each task on an independently uniformly random type."""
+    rng = spawn_rng(seed, f"baseline/random/{workflow.name}")
+    names = catalog.type_names
+    return {tid: names[int(rng.integers(0, len(names)))] for tid in workflow.task_ids}

@@ -1,0 +1,51 @@
+"""Figure 2: execution-time variance of Deco-optimized Montage plans.
+
+The paper runs Montage-1/4/8 (instance configurations optimized by
+Deco) 100 times each on EC2 and shows the quantile spread of the
+normalized execution time -- significant variance, attributed to disk
+and network I/O interference.  We reproduce it on the simulator: the
+per-run makespans are normalized to their own mean and summarized as
+quantiles.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.bench.harness import BenchConfig, is_full_profile
+from repro.workflow.generators import montage
+
+__all__ = ["fig02_runtime_variance"]
+
+
+def fig02_runtime_variance(
+    config: BenchConfig | None = None,
+    degrees: tuple[float, ...] = (1.0, 4.0, 8.0),
+) -> list[dict]:
+    """One row per Montage scale with normalized-makespan quantiles."""
+    config = config or BenchConfig()
+    runs = 100 if is_full_profile() else max(20, config.runs_per_plan)
+    sim = config.simulator()
+    deco = config.deco()
+    rows = []
+    for deg in degrees:
+        wf = montage(degrees=deg, seed=config.seed)
+        plan = deco.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
+        makespans = np.asarray(
+            [r.makespan for r in sim.run_many(wf, plan.assignment, runs)]
+        )
+        norm = makespans / makespans.mean()
+        rows.append(
+            {
+                "workflow": wf.name,
+                "tasks": len(wf),
+                "runs": runs,
+                "min": float(norm.min()),
+                "p25": float(np.percentile(norm, 25)),
+                "median": float(np.percentile(norm, 50)),
+                "p75": float(np.percentile(norm, 75)),
+                "max": float(norm.max()),
+                "spread": float(norm.max() - norm.min()),
+            }
+        )
+    return rows

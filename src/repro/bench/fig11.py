@@ -1,0 +1,61 @@
+"""Figure 11: deadline-parameter sensitivity (tight / medium / loose).
+
+Montage-8 under the three deadline settings; average monetary cost and
+execution time of Deco vs Autoscaling, normalized to Autoscaling under
+the *tight* deadline.  Expected shapes: Deco <= Autoscaling at every
+setting; cost decreases and execution time increases as the deadline
+loosens (cheaper instances become admissible).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.autoscaling import autoscaling_plan_calibrated
+from repro.bench.harness import BenchConfig
+from repro.workflow.generators import montage
+
+__all__ = ["fig11_deadline_sensitivity"]
+
+
+def fig11_deadline_sensitivity(
+    config: BenchConfig | None = None,
+    degrees: float = 8.0,
+    settings: tuple[str, ...] = ("tight", "medium", "loose"),
+) -> list[dict]:
+    """One row per deadline setting, both algorithms, Fig.-11 normalization."""
+    config = config or BenchConfig()
+    wf = montage(degrees=degrees, seed=config.seed)
+    deco = config.deco()
+    presets = deco.presets(wf)
+    sim = config.simulator()
+    pct = config.deadline_percentile
+
+    rows = []
+    for setting in settings:
+        d = presets.get(setting)
+        plan = deco.schedule(wf, d, deadline_percentile=pct)
+        as_plan = autoscaling_plan_calibrated(
+            wf, config.catalog, d, pct, config.runtime_model,
+            config.num_samples, seed=config.seed,
+        )
+        deco_m = sim.summarize(sim.run_many(wf, plan.assignment, config.runs_per_plan))
+        as_m = sim.summarize(sim.run_many(wf, as_plan, config.runs_per_plan))
+        rows.append(
+            {
+                "deadline": setting,
+                "deadline_seconds": d,
+                "deco_cost": deco_m["mean_cost"],
+                "as_cost": as_m["mean_cost"],
+                "deco_time": deco_m["mean_makespan"],
+                "as_time": as_m["mean_makespan"],
+                "deco_expected_cost": plan.expected_cost,
+            }
+        )
+    # Normalize to Autoscaling under the tight deadline (the paper's axis).
+    ref_cost = rows[0]["as_cost"]
+    ref_time = rows[0]["as_time"]
+    for r in rows:
+        r["deco_cost_norm"] = r["deco_cost"] / ref_cost
+        r["as_cost_norm"] = r["as_cost"] / ref_cost
+        r["deco_time_norm"] = r["deco_time"] / ref_time
+        r["as_time_norm"] = r["as_time"] / ref_time
+    return rows

@@ -1,0 +1,91 @@
+"""Shared experiment configuration and table formatting."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cloud.instance_types import Catalog, ec2_catalog
+from repro.cloud.simulator import CloudSimulator
+from repro.common.rng import RngService
+from repro.engine.deco import Deco
+from repro.workflow.runtime_model import RuntimeModel
+
+__all__ = ["BenchConfig", "format_table", "normalize", "is_full_profile"]
+
+
+def is_full_profile() -> bool:
+    """Whether paper-scale parameters were requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "") not in ("", "0", "false")
+
+
+@dataclass
+class BenchConfig:
+    """One experiment context: catalog, models, solver, simulator.
+
+    Every driver takes a config so experiments are reproducible and
+    cheap to re-parameterize.  The quick profile trades repetitions and
+    ensemble sizes for runtime; the shapes it produces match the full
+    profile's.
+    """
+
+    seed: int = 7
+    num_samples: int = 150
+    max_evaluations: int = 1500
+    runs_per_plan: int = field(default_factory=lambda: 40 if is_full_profile() else 12)
+    deadline_percentile: float = 96.0
+    catalog: Catalog = field(default_factory=ec2_catalog)
+
+    def __post_init__(self):
+        self.runtime_model = RuntimeModel(self.catalog)
+        self.rngs = RngService(self.seed)
+
+    def deco(self, **overrides) -> Deco:
+        kwargs = dict(
+            seed=self.seed,
+            num_samples=self.num_samples,
+            max_evaluations=self.max_evaluations,
+        )
+        kwargs.update(overrides)
+        return Deco(self.catalog, **kwargs)
+
+    def simulator(self) -> CloudSimulator:
+        return CloudSimulator(self.catalog, RngService(self.seed + 1), self.runtime_model)
+
+
+def normalize(rows: Sequence[Mapping[str, object]], key: str, reference: float) -> list[dict]:
+    """Divide ``key`` in every row by ``reference`` into ``key + '_norm'``."""
+    if reference == 0:
+        raise ZeroDivisionError("normalization reference is zero")
+    out = []
+    for row in rows:
+        row = dict(row)
+        row[f"{key}_norm"] = float(row[key]) / reference  # type: ignore[arg-type]
+        out.append(row)
+    return out
+
+
+def format_table(rows: Sequence[Mapping[str, object]], title: str = "") -> str:
+    """Plain-text table (the form the paper's tables take)."""
+    if not rows:
+        return f"{title}\n(no rows)"
+    cols = list(rows[0].keys())
+
+    def fmt(v) -> str:
+        if isinstance(v, bool):
+            return "yes" if v else "no"
+        if isinstance(v, float):
+            return f"{v:.4g}"
+        return str(v)
+
+    table = [[fmt(row.get(c, "")) for c in cols] for row in rows]
+    widths = [max(len(c), *(len(r[i]) for r in table)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in table:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Command-line interface: run experiments and one-off optimizations.
+
+Usage::
+
+    python -m repro list
+    python -m repro run fig01 [--seed 7] [--samples 100] [--evals 800]
+    python -m repro run all
+    python -m repro schedule --app montage --degrees 1 --deadline medium \
+        --percentile 96
+    python -m repro calibrate
+
+``run`` regenerates a paper table/figure through the same drivers the
+benchmark harness uses and prints the table; ``schedule`` runs one
+Deco optimization and prints the plan; ``calibrate`` reproduces Table 2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.bench import (
+    BenchConfig,
+    ablation_astar_pruning,
+    ablation_mc_iterations,
+    ablation_probabilistic_vs_deterministic,
+    ablation_search_seeds,
+    fig01_instance_configs,
+    fig02_runtime_variance,
+    fig06_network_dynamics,
+    fig07_network_histograms,
+    fig08_probabilistic_deadline_sweep,
+    fig09_ensemble_scores,
+    fig10_follow_the_cost,
+    fig11_deadline_sensitivity,
+    format_table,
+    optimization_overhead,
+    solver_speedup,
+    table2_io_distributions,
+)
+
+__all__ = ["main", "EXPERIMENTS"]
+
+
+def _run_fig06(config: BenchConfig) -> list[dict]:
+    return [fig06_network_dynamics(config)]
+
+
+def _run_fig10(config: BenchConfig) -> list[dict]:
+    out = fig10_follow_the_cost(config)
+    return out["by_size"] + out["by_threshold"]
+
+
+#: Experiment id -> (driver, title).  Ids mirror the paper's numbering.
+EXPERIMENTS: dict[str, tuple[Callable[[BenchConfig], list[dict]], str]] = {
+    "fig01": (fig01_instance_configs, "Figure 1: Montage cost per configuration"),
+    "fig02": (fig02_runtime_variance, "Figure 2: normalized makespan quantiles"),
+    "table2": (table2_io_distributions, "Table 2: I/O performance distributions"),
+    "fig06": (_run_fig06, "Figure 6: m1.medium network dynamics"),
+    "fig07": (fig07_network_histograms, "Figure 7: pairwise link histograms"),
+    "fig08": (fig08_probabilistic_deadline_sweep, "Figure 8: probabilistic deadline sweep"),
+    "fig09": (fig09_ensemble_scores, "Figure 9: ensemble scores (Deco vs SPSS)"),
+    "fig10": (_run_fig10, "Figure 10: follow-the-cost"),
+    "fig11": (fig11_deadline_sensitivity, "Figure 11: deadline sensitivity"),
+    "speedup": (solver_speedup, "Solver speedup: vectorized vs scalar"),
+    "overhead": (optimization_overhead, "Optimization overhead per task"),
+    "ablation-prob": (
+        ablation_probabilistic_vs_deterministic,
+        "Ablation: probabilistic vs deterministic",
+    ),
+    "ablation-mc": (ablation_mc_iterations, "Ablation: Monte Carlo iterations"),
+    "ablation-astar": (ablation_astar_pruning, "Ablation: A* pruning"),
+    "ablation-seeds": (ablation_search_seeds, "Ablation: warm-start seeds"),
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Deco reproduction: experiments and one-off optimizations",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="regenerate a paper table/figure")
+    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("--seed", type=int, default=7)
+    run.add_argument("--samples", type=int, default=100, help="Monte Carlo samples per state")
+    run.add_argument("--evals", type=int, default=800, help="search evaluation budget")
+    run.add_argument("--runs", type=int, default=8, help="simulated runs per plan")
+
+    sched = sub.add_parser("schedule", help="optimize one workflow with Deco")
+    sched.add_argument("--app", choices=("montage", "ligo", "epigenomics", "cybershake"),
+                       default="montage")
+    sched.add_argument("--degrees", type=float, default=1.0, help="montage mosaic size")
+    sched.add_argument("--tasks", type=int, default=100, help="task count for non-montage apps")
+    sched.add_argument("--deadline", default="medium",
+                       help="tight|medium|loose or seconds")
+    sched.add_argument("--percentile", type=float, default=96.0)
+    sched.add_argument("--seed", type=int, default=7)
+    sched.add_argument("--samples", type=int, default=150)
+    sched.add_argument("--evals", type=int, default=1500)
+    sched.add_argument("--execute", action="store_true",
+                       help="also execute the plan on the simulator")
+
+    sub.add_parser("calibrate", help="run the calibration campaign (Table 2)")
+    return parser
+
+
+def _config(args) -> BenchConfig:
+    return BenchConfig(
+        seed=args.seed,
+        num_samples=args.samples,
+        max_evaluations=args.evals,
+        runs_per_plan=getattr(args, "runs", 8),
+    )
+
+
+def _cmd_list(out) -> int:
+    width = max(len(k) for k in EXPERIMENTS)
+    for key, (_, title) in EXPERIMENTS.items():
+        print(f"  {key.ljust(width)}  {title}", file=out)
+    return 0
+
+
+def _cmd_run(args, out) -> int:
+    config = _config(args)
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        driver, title = EXPERIMENTS[name]
+        rows = driver(config)
+        print(format_table(rows, title), file=out)
+        print(file=out)
+    return 0
+
+
+def _cmd_schedule(args, out) -> int:
+    from repro.cloud import CloudSimulator, ec2_catalog
+    from repro.common.rng import RngService
+    from repro.engine import Deco
+    from repro.workflow import generators
+
+    catalog = ec2_catalog()
+    if args.app == "montage":
+        workflow = generators.montage(degrees=args.degrees, seed=args.seed)
+    else:
+        workflow = getattr(generators, args.app)(num_tasks=args.tasks, seed=args.seed)
+
+    deco = Deco(catalog, seed=args.seed, num_samples=args.samples,
+                max_evaluations=args.evals)
+    try:
+        deadline: float | str = float(args.deadline)
+    except ValueError:
+        deadline = args.deadline
+    plan = deco.schedule(workflow, deadline, deadline_percentile=args.percentile)
+
+    print(f"workflow:        {workflow.name} ({len(workflow)} tasks)", file=out)
+    print(f"deadline:        {plan.deadline:.0f} s @ {plan.deadline_percentile:.1f}%", file=out)
+    print(f"feasible:        {plan.feasible}", file=out)
+    print(f"P(mk <= D):      {plan.probability:.3f}", file=out)
+    print(f"expected cost:   ${plan.expected_cost:.4f}", file=out)
+    print(f"instance mix:    {plan.type_counts()}", file=out)
+    print(f"solve time:      {plan.solve_seconds * 1000:.0f} ms "
+          f"({plan.overhead_ms_per_task():.2f} ms/task, "
+          f"{plan.evaluations} evaluations)", file=out)
+
+    if args.execute:
+        sim = CloudSimulator(catalog, RngService(args.seed + 1), deco.runtime_model)
+        summary = sim.summarize(sim.run_many(workflow, dict(plan.assignment), 10))
+        print(f"measured (10 runs): ${summary['mean_cost']:.2f}, "
+              f"{summary['mean_makespan']:.0f} s mean makespan", file=out)
+    return 0 if plan.feasible else 1
+
+
+def _cmd_calibrate(out) -> int:
+    config = BenchConfig()
+    print(format_table(table2_io_distributions(config),
+                       "Table 2: I/O performance distributions"), file=out)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None, out=None) -> int:
+    """Entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list(out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "schedule":
+        return _cmd_schedule(args, out)
+    if args.command == "calibrate":
+        return _cmd_calibrate(out)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

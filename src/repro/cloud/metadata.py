@@ -1,0 +1,139 @@
+"""The cloud metadata store.
+
+The paper keeps calibrated performance histograms and instance facts in
+a "metadata store" that WLog's ``import(cloud)`` reads and that the
+probabilistic IR translation consults.  This module is that store: a
+typed key-value catalog of :class:`PerfRecord` entries keyed by
+``(metric, instance_type)``.
+
+Records can come from two sources:
+
+* :meth:`MetadataStore.from_catalog` -- discretize the catalog's
+  analytic distributions directly (the engine's out-of-the-box mode);
+* :class:`repro.cloud.calibration.Calibrator` -- run micro-benchmarks
+  against the simulated cloud and store the *measured* histograms,
+  reproducing the paper's calibration campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.common.errors import CloudError
+from repro.distributions.base import Distribution
+from repro.distributions.histogram import Histogram
+from repro.cloud.instance_types import Catalog
+
+__all__ = ["PerfRecord", "MetadataStore", "METRICS"]
+
+#: The three dynamic performance components the paper calibrates.
+METRICS = ("seq_io", "rand_io", "network")
+
+
+@dataclass(frozen=True)
+class PerfRecord:
+    """One calibrated performance entry.
+
+    ``source`` records provenance: ``"catalog"`` for analytic
+    discretization, ``"calibration"`` for measured data.
+    """
+
+    metric: str
+    instance_type: str
+    histogram: Histogram
+    distribution: Distribution
+    source: str = "catalog"
+
+    def __post_init__(self):
+        if self.metric not in METRICS:
+            raise CloudError(f"unknown metric {self.metric!r}; choose from {METRICS}")
+
+
+class MetadataStore:
+    """Instance facts + performance histograms for one catalog."""
+
+    def __init__(self, catalog: Catalog):
+        self.catalog = catalog
+        self._records: dict[tuple[str, str], PerfRecord] = {}
+
+    @classmethod
+    def from_catalog(cls, catalog: Catalog, bins: int = 20) -> "MetadataStore":
+        """Populate from the catalog's analytic distributions.
+
+        This is the default, calibration-free mode: each instance type's
+        three performance distributions are discretized into ``bins``-bin
+        histograms.
+        """
+        store = cls(catalog)
+        for itype in catalog:
+            for metric, dist in (
+                ("seq_io", itype.seq_io),
+                ("rand_io", itype.rand_io),
+                ("network", itype.network),
+            ):
+                store.put(
+                    PerfRecord(
+                        metric=metric,
+                        instance_type=itype.name,
+                        histogram=Histogram.from_distribution(dist, bins=bins),
+                        distribution=dist,
+                        source="catalog",
+                    )
+                )
+        return store
+
+    # Record access -------------------------------------------------------
+
+    def put(self, record: PerfRecord) -> None:
+        """Insert or replace a record (calibration overwrites catalog)."""
+        self.catalog.type(record.instance_type)  # validate the type exists
+        self._records[(record.metric, record.instance_type)] = record
+
+    def get(self, metric: str, instance_type: str) -> PerfRecord:
+        try:
+            return self._records[(metric, instance_type)]
+        except KeyError:
+            raise CloudError(
+                f"no metadata for metric={metric!r}, type={instance_type!r}; "
+                "run calibration or build the store with from_catalog()"
+            ) from None
+
+    def histogram(self, metric: str, instance_type: str) -> Histogram:
+        """The stored histogram for ``(metric, instance_type)``."""
+        return self.get(metric, instance_type).histogram
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        return key in self._records
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(self) -> Iterator[PerfRecord]:
+        """All records, deterministic order."""
+        return (self._records[k] for k in sorted(self._records))
+
+    # WLog-facing facts ----------------------------------------------------
+
+    def instance_facts(self, region: str | None = None) -> list[Mapping[str, object]]:
+        """Instance facts as ``import(cloud)`` exposes them to WLog.
+
+        Mirrors the paper's example fact: ``<key="id1", cloud="ec2",
+        instype="m1.small", price="0.044", cpu="1", mem="1.7", ...>``.
+        """
+        region_obj = self.catalog.region(region)
+        facts = []
+        for idx, itype in enumerate(self.catalog):
+            facts.append(
+                {
+                    "key": f"id{idx}",
+                    "vid": idx,
+                    "instype": itype.name,
+                    "region": region_obj.name,
+                    "price": region_obj.price(itype.name),
+                    "cpu": itype.vcpus,
+                    "cpu_speed": itype.cpu_speed,
+                    "mem": itype.mem_gb,
+                }
+            )
+        return facts

@@ -1,0 +1,310 @@
+"""Discrete-event IaaS cloud simulator.
+
+Reproduces the CloudSim-based simulator of the paper's Section 6.1,
+with its three components:
+
+* **Cloud** -- maintains an elastic pool of instances (acquire/release)
+  and the calibrated performance distributions;
+* **Instance** -- a VM of a catalog type in a region, billed in whole
+  hours from acquisition to release;
+* **Workflow execution** -- tasks become ready when all parents finish;
+  a ready task starts immediately on a free (or newly acquired)
+  instance of its assigned type; its duration is drawn from the dynamic
+  runtime model (CPU + I/O + network with sampled bandwidths), i.e. the
+  per-second performance "conforms to the distributions from
+  calibration".
+
+The simulator *executes* provisioning plans; the optimizer never sees
+it (it works from the metadata store), which is exactly the separation
+the paper evaluates: plans optimized against calibrated distributions,
+then measured on the dynamic cloud.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.common.errors import CloudError, ValidationError
+from repro.common.rng import RngService
+from repro.common.units import billed_hours
+from repro.cloud.instance_types import Catalog
+from repro.cloud.network import NetworkModel
+from repro.cloud.pricing import PricingModel
+from repro.workflow.dag import Workflow
+
+if False:  # pragma: no cover - import cycle guard (cloud <-> workflow), typing only
+    from repro.workflow.runtime_model import RuntimeModel
+
+__all__ = ["TaskRecord", "InstanceRecord", "ExecutionResult", "CloudSimulator"]
+
+
+@dataclass(frozen=True)
+class TaskRecord:
+    """Execution trace of one task."""
+
+    task_id: str
+    instance_id: int
+    instance_type: str
+    ready: float
+    start: float
+    finish: float
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass
+class InstanceRecord:
+    """One acquired instance and its billed life."""
+
+    instance_id: int
+    type_name: str
+    region: str
+    acquired: float
+    released: float = 0.0
+    tasks: list[str] = field(default_factory=list)
+
+    @property
+    def billed_hours(self) -> int:
+        return billed_hours(max(self.released - self.acquired, 0.0))
+
+
+@dataclass(frozen=True)
+class ExecutionResult:
+    """Outcome of executing one workflow under one plan."""
+
+    workflow_name: str
+    makespan: float
+    cost: float
+    task_records: tuple[TaskRecord, ...]
+    instance_records: tuple[InstanceRecord, ...]
+    region: str
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instance_records)
+
+    def meets_deadline(self, deadline: float) -> bool:
+        return self.makespan <= deadline
+
+
+class CloudSimulator:
+    """Event-driven execution of workflows on an elastic instance pool."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        rngs: RngService | None = None,
+        runtime_model: "RuntimeModel | None" = None,
+    ):
+        from repro.workflow.runtime_model import RuntimeModel
+
+        self.catalog = catalog
+        self.rngs = rngs or RngService(0)
+        self.runtime = runtime_model or RuntimeModel(catalog)
+        self.pricing = PricingModel(catalog)
+        self.network = NetworkModel(catalog)
+
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        workflow: Workflow,
+        assignment: Mapping[str, str],
+        region: str | None = None,
+        run_id: int = 0,
+        groups: Mapping[str, object] | None = None,
+        failure_rate: float = 0.0,
+        max_retries: int = 3,
+    ) -> ExecutionResult:
+        """Execute ``workflow`` with each task on its assigned type.
+
+        Parameters
+        ----------
+        assignment:
+            task id -> instance type name (the provisioning plan).
+        region:
+            Region to run in (affects prices only).
+        run_id:
+            Distinguishes repeated runs of the same plan: each run uses
+            an independent performance realization of the cloud.
+        groups:
+            Optional co-scheduling: task id -> group key.  Tasks sharing
+            a group key are pinned to the *same* instance (serialized if
+            they overlap); produced by the Merge/Co-scheduling
+            transformation operations.
+        failure_rate:
+            Failure-injection knob: each task *attempt* fails with this
+            probability.  A failed attempt consumes its sampled runtime
+            on the instance (and is billed), then the task is resubmitted
+            -- the Condor retry discipline.
+        max_retries:
+            Resubmissions allowed per task before the run aborts with
+            :class:`CloudError`.
+        """
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValidationError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        if max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+        region_name = self.catalog.region(region).name
+        self._check_assignment(workflow, assignment)
+        rng = self.rngs.fresh(f"sim/{workflow.name}/{region_name}/{run_id}")
+
+        counter = itertools.count()
+        instances: list[InstanceRecord] = []
+        free_at: list[float] = []  # per instance: time it becomes idle
+        group_instance: dict[object, int] = {}
+
+        remaining_parents = {tid: len(workflow.parents(tid)) for tid in workflow.task_ids}
+        finish_time: dict[str, float] = {}
+        records: dict[str, TaskRecord] = {}
+
+        # Event queue of (time, seq, task_id) completion events; ready
+        # tasks start immediately (elastic cloud => no queueing except
+        # within a co-scheduling group).
+        events: list[tuple[float, int, str]] = []
+
+        def acquire(type_name: str, now: float) -> int:
+            iid = len(instances)
+            instances.append(
+                InstanceRecord(
+                    instance_id=iid, type_name=type_name, region=region_name, acquired=now
+                )
+            )
+            free_at.append(now)
+            return iid
+
+        def pick_instance(tid: str, now: float) -> int:
+            type_name = assignment[tid]
+            if groups is not None and tid in groups:
+                key = (groups[tid], type_name)
+                if key not in group_instance:
+                    group_instance[key] = acquire(type_name, now)
+                return group_instance[key]
+            # Reuse the idle instance that has been idle the shortest
+            # time (best fit); otherwise scale out.
+            best, best_idle = -1, float("inf")
+            for iid, rec in enumerate(instances):
+                if rec.type_name != type_name:
+                    continue
+                idle = now - free_at[iid]
+                if 0.0 <= idle < best_idle:
+                    best, best_idle = iid, idle
+            if best >= 0:
+                return best
+            return acquire(type_name, now)
+
+        attempts: dict[str, int] = {}
+
+        def start_task(tid: str, ready: float) -> None:
+            iid = pick_instance(tid, ready)
+            start = max(ready, free_at[iid])
+            duration = self.runtime.sample(workflow.task(tid), assignment[tid], rng)
+            # Failure injection: a failed attempt burns its runtime on the
+            # instance, then the task is resubmitted at the failure time.
+            while failure_rate > 0.0 and rng.random() < failure_rate:
+                attempts[tid] = attempts.get(tid, 0) + 1
+                if attempts[tid] > max_retries:
+                    raise CloudError(
+                        f"task {tid!r} failed {attempts[tid]} times "
+                        f"(max_retries={max_retries})"
+                    )
+                start += float(duration)
+                duration = self.runtime.sample(workflow.task(tid), assignment[tid], rng)
+            finish = start + float(duration)
+            free_at[iid] = finish
+            instances[iid].tasks.append(tid)
+            records[tid] = TaskRecord(
+                task_id=tid,
+                instance_id=iid,
+                instance_type=assignment[tid],
+                ready=ready,
+                start=start,
+                finish=finish,
+            )
+            heapq.heappush(events, (finish, next(counter), tid))
+
+        for tid in workflow.roots():
+            start_task(tid, 0.0)
+
+        while events:
+            now, _, tid = heapq.heappop(events)
+            finish_time[tid] = now
+            for child in workflow.children(tid):
+                remaining_parents[child] -= 1
+                if remaining_parents[child] == 0:
+                    ready = max(finish_time[p] for p in workflow.parents(child))
+                    start_task(child, ready)
+
+        if len(finish_time) != len(workflow):
+            raise CloudError(
+                f"execution stalled: {len(finish_time)}/{len(workflow)} tasks completed"
+            )
+
+        makespan = max(finish_time.values(), default=0.0)
+        cost = 0.0
+        for iid, rec in enumerate(instances):
+            rec.released = max(free_at[iid], rec.acquired)
+            cost += self.pricing.billed_instance_cost(
+                rec.released - rec.acquired, rec.type_name, region_name
+            )
+
+        return ExecutionResult(
+            workflow_name=workflow.name,
+            makespan=makespan,
+            cost=cost,
+            task_records=tuple(records[tid] for tid in workflow.task_ids),
+            instance_records=tuple(instances),
+            region=region_name,
+        )
+
+    def run_many(
+        self,
+        workflow: Workflow,
+        assignment: Mapping[str, str],
+        runs: int,
+        region: str | None = None,
+    ) -> list[ExecutionResult]:
+        """Execute the same plan ``runs`` times with fresh cloud dynamics.
+
+        This is how the paper produces Fig. 2 (runtime variance of
+        Deco-optimized plans over 100 runs) and all "average cost /
+        average execution time" numbers.
+        """
+        if runs < 1:
+            raise ValidationError(f"runs must be >= 1, got {runs}")
+        return [
+            self.execute(workflow, assignment, region=region, run_id=r) for r in range(runs)
+        ]
+
+    @staticmethod
+    def summarize(results: Sequence[ExecutionResult]) -> dict[str, float]:
+        """Mean/percentile summary over repeated runs."""
+        if not results:
+            raise ValidationError("no results to summarize")
+        makespans = np.asarray([r.makespan for r in results])
+        costs = np.asarray([r.cost for r in results])
+        return {
+            "mean_makespan": float(makespans.mean()),
+            "p5_makespan": float(np.percentile(makespans, 5)),
+            "p50_makespan": float(np.percentile(makespans, 50)),
+            "p95_makespan": float(np.percentile(makespans, 95)),
+            "max_makespan": float(makespans.max()),
+            "mean_cost": float(costs.mean()),
+            "p95_cost": float(np.percentile(costs, 95)),
+        }
+
+    # ------------------------------------------------------------------
+
+    def _check_assignment(self, workflow: Workflow, assignment: Mapping[str, str]) -> None:
+        missing = [tid for tid in workflow.task_ids if tid not in assignment]
+        if missing:
+            raise ValidationError(f"plan missing assignments for tasks {missing[:5]}")
+        for tid in workflow.task_ids:
+            self.catalog.type(assignment[tid])  # validates the type name

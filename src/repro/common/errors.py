@@ -1,0 +1,65 @@
+"""Exception hierarchy for the Deco reproduction.
+
+All library-raised exceptions derive from :class:`DecoError` so callers can
+catch everything from this package with a single ``except`` clause while
+still distinguishing user errors (bad WLog programs, invalid workflows)
+from engine failures (infeasible optimizations).
+"""
+
+from __future__ import annotations
+
+
+class DecoError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ValidationError(DecoError, ValueError):
+    """A model object (workflow, plan, distribution...) is malformed."""
+
+
+class CloudError(DecoError):
+    """The cloud simulator was driven into an invalid state.
+
+    Examples: releasing an instance twice, scheduling a task onto an
+    instance that was never acquired, or referencing an unknown region.
+    """
+
+
+class WLogError(DecoError):
+    """Base class for errors in the WLog declarative language layer."""
+
+
+class WLogSyntaxError(WLogError):
+    """The WLog source text could not be tokenized or parsed.
+
+    Carries the source position to make programs debuggable.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        self.line = line
+        self.column = column
+        if line:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class WLogRuntimeError(WLogError):
+    """Evaluation of a (syntactically valid) WLog program failed.
+
+    Examples: arithmetic on an unbound variable, calling an unknown
+    predicate, or an ``import`` of a workflow/cloud that was never
+    registered with the engine.
+    """
+
+
+class SolverError(DecoError):
+    """The search engine failed (bad backend name, malformed state...)."""
+
+
+class InfeasibleError(SolverError):
+    """No provisioning plan satisfies the declared constraints.
+
+    Raised by drivers that are asked for a feasible plan when even the
+    most aggressive state in the search space violates a constraint
+    (e.g. the deadline is below the runtime on the fastest instance).
+    """

@@ -1,0 +1,69 @@
+"""Time and money unit conventions.
+
+Conventions used across the library (documented once, enforced here):
+
+* **Task runtimes and makespans are in seconds** (floats).
+* **Prices are in dollars per instance-hour**, matching the EC2 price
+  list the paper uses (e.g. m1.small at $0.044/h).
+* **Billing** in the 2015 EC2 model rounds usage *up* to whole hours per
+  acquired instance ("instance partial hour"); the optimizer's analytic
+  cost model (Eq. 1 of the paper) instead charges fractional hours of
+  the mean runtime.  Both conversions live here.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "SECONDS_PER_HOUR",
+    "hours_to_seconds",
+    "seconds_to_hours",
+    "billed_hours",
+    "fractional_cost",
+    "billed_cost",
+]
+
+SECONDS_PER_HOUR: float = 3600.0
+
+
+def hours_to_seconds(hours: float) -> float:
+    """Convert hours to seconds."""
+    return float(hours) * SECONDS_PER_HOUR
+
+
+def seconds_to_hours(seconds: float) -> float:
+    """Convert seconds to hours."""
+    return float(seconds) / SECONDS_PER_HOUR
+
+
+def billed_hours(seconds: float) -> int:
+    """Whole instance-hours billed for ``seconds`` of usage.
+
+    EC2's 2015 billing model: any started hour is charged in full, and
+    acquiring an instance for zero time still bills one hour (the paper's
+    simulator releases instances on the hour boundary for exactly this
+    reason).
+
+    >>> billed_hours(0.0)
+    1
+    >>> billed_hours(3600.0)
+    1
+    >>> billed_hours(3600.1)
+    2
+    """
+    if seconds < 0:
+        raise ValueError(f"negative usage: {seconds}")
+    return max(1, int(math.ceil(seconds / SECONDS_PER_HOUR)))
+
+
+def fractional_cost(seconds: float, unit_price_per_hour: float) -> float:
+    """Fractional-hour cost used by the analytic model (paper Eq. 1-2)."""
+    if seconds < 0:
+        raise ValueError(f"negative usage: {seconds}")
+    return seconds_to_hours(seconds) * unit_price_per_hour
+
+
+def billed_cost(seconds: float, unit_price_per_hour: float) -> float:
+    """Whole-hour billed cost, as the simulator charges it."""
+    return billed_hours(seconds) * unit_price_per_hour

@@ -1,0 +1,54 @@
+"""Probabilistic performance modeling.
+
+The paper models dynamic cloud performance (I/O bandwidth, network
+bandwidth) with parametric probability distributions calibrated from
+measurements (Table 2: Gamma for sequential I/O, Normal for random I/O
+and network), then *discretizes* each distribution into a histogram whose
+bins become the probabilistic facts of the WLog intermediate
+representation (``p_j : exetime(Tid, Vid, T_j)``).
+
+This package provides:
+
+* a small :class:`Distribution` protocol (:mod:`~repro.distributions.base`),
+* the parametric families the paper uses
+  (:mod:`~repro.distributions.parametric`),
+* histogram discretization and arithmetic -- the convolution-style ``sum``
+  and ``max`` operations used to propagate task-time distributions
+  through a DAG (:mod:`~repro.distributions.histogram`),
+* fitting and goodness-of-fit testing, reproducing the calibration step
+  (:mod:`~repro.distributions.fitting`).
+"""
+
+from repro.distributions.base import Distribution
+from repro.distributions.parametric import (
+    Deterministic,
+    Empirical,
+    GammaDistribution,
+    NormalDistribution,
+    TruncatedNormal,
+    UniformDistribution,
+)
+from repro.distributions.histogram import Histogram
+from repro.distributions.fitting import (
+    FitResult,
+    fit_gamma,
+    fit_normal,
+    goodness_of_fit,
+    best_fit,
+)
+
+__all__ = [
+    "Distribution",
+    "Deterministic",
+    "Empirical",
+    "GammaDistribution",
+    "NormalDistribution",
+    "TruncatedNormal",
+    "UniformDistribution",
+    "Histogram",
+    "FitResult",
+    "fit_gamma",
+    "fit_normal",
+    "goodness_of_fit",
+    "best_fit",
+]

@@ -1,0 +1,58 @@
+"""The :class:`Distribution` protocol.
+
+Everything downstream (cloud dynamics, runtime model, probabilistic IR)
+talks to distributions through this minimal interface so parametric
+families, empirical samples, and discretized histograms are
+interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Distribution"]
+
+
+class Distribution(abc.ABC):
+    """A one-dimensional probability distribution.
+
+    Implementations must be immutable; sampling state lives in the
+    caller-provided :class:`numpy.random.Generator` (see
+    :mod:`repro.common.rng`), never in the distribution object.
+    """
+
+    @abc.abstractmethod
+    def sample(self, rng: np.random.Generator, size: int | None = None):
+        """Draw ``size`` i.i.d. samples (a float when ``size is None``)."""
+
+    @abc.abstractmethod
+    def mean(self) -> float:
+        """The expectation E[X]."""
+
+    @abc.abstractmethod
+    def std(self) -> float:
+        """The standard deviation of X."""
+
+    @abc.abstractmethod
+    def percentile(self, q: float) -> float:
+        """The ``q``-th percentile, ``q`` in [0, 100]."""
+
+    def variance(self) -> float:
+        """Var[X]; default derives from :meth:`std`."""
+        return self.std() ** 2
+
+    def coefficient_of_variation(self) -> float:
+        """std/mean -- the paper's headline measure of cloud dynamics."""
+        m = self.mean()
+        if m == 0:
+            raise ZeroDivisionError("coefficient of variation of zero-mean distribution")
+        return self.std() / abs(m)
+
+    # Convenience -------------------------------------------------------
+
+    def sample_array(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Like :meth:`sample` but guaranteed to return an ndarray."""
+        out = self.sample(rng, size)
+        return np.asarray(out, dtype=float)

@@ -1,0 +1,93 @@
+"""WLog program -> compiled array problem.
+
+The paper's GPU solver does not interpret ProbLog rules on the device;
+the probabilistic IR is lowered to flat arrays (task-time samples,
+prices, DAG structure) that the kernels consume.  This module is that
+lowering for the *standard* problem family of Example 1:
+
+    goal minimize Ct in totalcost(Ct).
+    cons T in maxtime(...) satisfies deadline(p%, D).
+    var configs(Tid, Vid, Con) forall task(Tid) and vm(Vid).
+
+Programs matching the pattern (one imported workflow, one imported
+cloud, cost-minimization goal over ``totalcost``, one probabilistic
+deadline over ``maxtime``) compile to a
+:class:`~repro.solver.backends.CompiledProblem`; anything else returns
+``None`` and the caller falls back to the interpreter path.  The
+equivalence of the compiled evaluation with the interpreter's
+Algorithm-1 evaluation is asserted in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import WLogError
+from repro.solver.backends import CompiledProblem
+from repro.wlog.probir import ProbabilisticIR
+from repro.wlog.program import ConsSpec, WLogProgram
+from repro.wlog.terms import Struct, to_python
+
+__all__ = ["try_compile", "compile_or_raise"]
+
+_GOAL_FUNCTORS = ("totalcost",)
+_CONS_FUNCTORS = ("maxtime",)
+
+
+def _deadline_constraint(program: WLogProgram) -> ConsSpec | None:
+    for cons in program.constraints:
+        if cons.requirement_kind() == "deadline":
+            return cons
+    return None
+
+
+def try_compile(
+    ir: ProbabilisticIR,
+    num_samples: int = 200,
+    seed: int = 0,
+    region: str | None = None,
+) -> CompiledProblem | None:
+    """Lower a translated program to arrays, or None if unrecognized."""
+    program = ir.program
+    mat = ir.materialized
+    if program.goal is None or program.goal.mode != "minimize":
+        return None
+    goal_pred = program.goal.predicate
+    if not (isinstance(goal_pred, Struct) and goal_pred.functor in _GOAL_FUNCTORS):
+        return None
+    cons = _deadline_constraint(program)
+    if cons is None or len(program.constraints) != 1:
+        return None
+    if not (isinstance(cons.predicate, Struct) and cons.predicate.functor in _CONS_FUNCTORS):
+        return None
+    if mat.catalog is None or len(mat.workflows) != 1:
+        return None
+    if program.var_spec is None or program.var_spec.declaration.functor != "configs":
+        return None
+
+    assert cons.requirement is not None
+    percentile = float(to_python(cons.requirement.args[0]))
+    deadline = float(to_python(cons.requirement.args[1]))
+    (workflow,) = mat.workflows.values()
+    return CompiledProblem.compile(
+        workflow=workflow,
+        catalog=mat.catalog,
+        deadline=deadline,
+        percentile=percentile,
+        num_samples=num_samples,
+        seed=seed,
+        region=region,
+    )
+
+
+def compile_or_raise(
+    ir: ProbabilisticIR, num_samples: int = 200, seed: int = 0, region: str | None = None
+) -> CompiledProblem:
+    """Like :func:`try_compile` but raising a descriptive error."""
+    problem = try_compile(ir, num_samples=num_samples, seed=seed, region=region)
+    if problem is None:
+        raise WLogError(
+            "program does not match the compilable scheduling pattern "
+            "(minimize totalcost + one probabilistic deadline over maxtime "
+            "+ configs variables over one workflow and one cloud); "
+            "evaluate it with ProbabilisticIR.evaluate instead"
+        )
+    return problem

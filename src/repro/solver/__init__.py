@@ -1,0 +1,42 @@
+"""Provisioning-plan search (the paper's Section 5).
+
+* :mod:`~repro.solver.state` -- the array-backed plan state the search
+  walks (instance-type index per task).
+* :mod:`~repro.solver.backends` -- state evaluation.  The *compiled
+  problem* is the array form of the probabilistic IR (sampled task-time
+  tensor + price vector + DAG structure); the **vectorized backend**
+  evaluates it with NumPy array programs laid out exactly like the
+  paper's CUDA kernels (one realization per "thread", one state per
+  "block"), while the **scalar backend** is the single-thread CPU
+  reference the paper compares against.  Both are cross-checked against
+  the WLog interpreter.
+* :mod:`~repro.solver.search` -- the generic transformation-driven
+  search (paper Algorithm 2) and A* search with user-supplied g/h
+  scores.
+"""
+
+from repro.solver.state import PlanState, StateEval
+from repro.solver.backends import (
+    CompiledProblem,
+    EvaluationBackend,
+    VectorizedBackend,
+    ScalarBackend,
+    get_backend,
+)
+from repro.solver.search import GenericSearch, AStarSearch, SearchResult
+from repro.solver.analytic import analytic_makespan, analytic_deadline_probability
+
+__all__ = [
+    "PlanState",
+    "StateEval",
+    "CompiledProblem",
+    "EvaluationBackend",
+    "VectorizedBackend",
+    "ScalarBackend",
+    "get_backend",
+    "GenericSearch",
+    "AStarSearch",
+    "SearchResult",
+    "analytic_makespan",
+    "analytic_deadline_probability",
+]

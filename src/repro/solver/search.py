@@ -1,0 +1,313 @@
+"""Search algorithms over provisioning-plan states.
+
+:class:`GenericSearch` is the paper's Algorithm 2: traverse the state
+space from an initial configuration, with state transitions driven by
+the transformation operations (Promote toward feasibility, Demote
+toward lower cost), evaluating every visited state with the compiled
+probabilistic IR and keeping the best feasible solution.  As in the
+paper, we choose *exploration* (frontier states expand independently
+and are evaluated in batches -- the GPU-friendly layout) and prune
+states that cannot improve on the incumbent (promoting only raises
+cost, so any state already costlier than the best feasible solution is
+dead -- the observation behind the paper's A* variant).
+
+:class:`AStarSearch` is a generic best-first A* over user-supplied
+``g``/``h`` scores, used when a WLog program declares
+``enabled(astar)`` (workflow-ensemble admission in the paper).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Hashable, Iterable
+
+import numpy as np
+
+from repro.common.errors import SolverError
+from repro.solver.backends import CompiledProblem, EvaluationBackend, VectorizedBackend
+from repro.solver.state import PlanState, StateEval
+from repro.workflow.critical_path import critical_path
+
+__all__ = ["SearchResult", "GenericSearch", "AStarSearch", "AStarResult"]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a generic search run."""
+
+    best_state: PlanState
+    best_eval: StateEval
+    evaluations: int
+    expansions: int
+    feasible_found: bool
+    trace: list[tuple[int, float]] = field(default_factory=list)
+
+    def assignment_names(self, problem: CompiledProblem) -> dict[str, str]:
+        """task id -> instance type name for the best state."""
+        names = problem.catalog.type_names
+        wf = problem.workflow
+        return {tid: names[int(self.best_state.assignment[wf.index_of(tid)])] for tid in wf.task_ids}
+
+
+class GenericSearch:
+    """Transformation-driven search (paper Algorithm 2).
+
+    Parameters
+    ----------
+    backend:
+        Evaluation backend (vectorized "gpu" by default).
+    children_per_state:
+        Cap on transformation children generated per expansion; children
+        are ranked by how much they are expected to help (critical-path
+        time for Promote, cost saving for Demote).
+    beam_width:
+        Frontier cap -- the exploration/exploitation balance knob.
+    max_evaluations:
+        Total state-evaluation budget.
+    """
+
+    def __init__(
+        self,
+        backend: EvaluationBackend | None = None,
+        children_per_state: int = 12,
+        beam_width: int = 24,
+        max_evaluations: int = 4000,
+    ):
+        if children_per_state < 1 or beam_width < 1 or max_evaluations < 1:
+            raise SolverError("search parameters must be >= 1")
+        self.backend = backend or VectorizedBackend()
+        self.children_per_state = children_per_state
+        self.beam_width = beam_width
+        self.max_evaluations = max_evaluations
+
+    # ------------------------------------------------------------------
+
+    def solve(
+        self,
+        problem: CompiledProblem,
+        initial: PlanState | None = None,
+        seeds: Iterable[PlanState] = (),
+    ) -> SearchResult:
+        """Search for the cheapest plan meeting the deadline constraint.
+
+        The initial state is all-cheapest (paper Fig. 5b); the uniform
+        states of every type are evaluated as additional seeds, and
+        callers may pass extra warm-start ``seeds`` (e.g. a heuristic
+        baseline's plan, which the search then strictly improves).
+        """
+        n = problem.num_tasks
+        k = problem.num_types
+        start = initial or PlanState.uniform(n, 0)
+        seed_states = [start] + [PlanState.uniform(n, t) for t in range(k)] + list(seeds)
+        # Dedupe while preserving order.
+        seen: set[bytes] = set()
+        frontier_states: list[PlanState] = []
+        for st in seed_states:
+            if len(st) != n:
+                raise SolverError(f"seed state has {len(st)} tasks, problem has {n}")
+            if st.key not in seen:
+                seen.add(st.key)
+                frontier_states.append(st)
+
+        evals = self.backend.evaluate_batch(problem, frontier_states)
+        evaluations = len(frontier_states)
+        best_state, best_eval = None, None
+        for st, ev in zip(frontier_states, evals):
+            if ev.better_than(best_eval):
+                best_state, best_eval = st, ev
+        assert best_state is not None and best_eval is not None
+
+        frontier: list[tuple[PlanState, StateEval]] = list(zip(frontier_states, evals))
+        trace = [(evaluations, best_eval.cost if best_eval.feasible else float("inf"))]
+        expansions = 0
+
+        while frontier and evaluations < self.max_evaluations:
+            frontier.sort(key=lambda se: self._priority(se[1]))
+            frontier = frontier[: self.beam_width]
+            state, ev = frontier.pop(0)
+            expansions += 1
+
+            children = self._children(problem, state, ev, best_eval)
+            children = [c for c in children if c.key not in seen]
+            if not children:
+                continue
+            for c in children:
+                seen.add(c.key)
+            budget = self.max_evaluations - evaluations
+            children = children[:budget]
+            child_evals = self.backend.evaluate_batch(problem, children)
+            evaluations += len(children)
+
+            for cst, cev in zip(children, child_evals):
+                if cev.better_than(best_eval):
+                    best_state, best_eval = cst, cev
+                    trace.append(
+                        (evaluations, best_eval.cost if best_eval.feasible else float("inf"))
+                    )
+                # Prune: a feasible child costlier than the incumbent can
+                # only get worse by promoting further (paper Section 5.3).
+                if best_eval.feasible and cev.cost >= best_eval.cost and cev.feasible:
+                    continue
+                frontier.append((cst, cev))
+
+        return SearchResult(
+            best_state=best_state,
+            best_eval=best_eval,
+            evaluations=evaluations,
+            expansions=expansions,
+            feasible_found=best_eval.feasible,
+            trace=trace,
+        )
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _priority(ev: StateEval) -> tuple:
+        """Frontier ordering: feasible cheap states first, then near-feasible."""
+        if ev.feasible:
+            return (0, ev.cost, -ev.probability)
+        return (1, -ev.probability, ev.cost)
+
+    def _children(
+        self,
+        problem: CompiledProblem,
+        state: PlanState,
+        ev: StateEval,
+        best: StateEval | None,
+    ) -> list[PlanState]:
+        """Transformation children: Promote when infeasible, Demote when feasible.
+
+        Promote targets the tasks dominating the (mean-time) critical
+        path under the current assignment; Demote targets off-path tasks
+        with the largest cost saving.  Both directions are generated for
+        feasible states so the search can trade off around the incumbent.
+        """
+        wf = problem.workflow
+        n = problem.num_tasks
+        idx = np.arange(n)
+        mean_now = problem.mean_times[state.assignment, idx]
+        time_map = {tid: float(mean_now[wf.index_of(tid)]) for tid in wf.task_ids}
+        cp, _ = critical_path(wf, time_map)
+        cp_idx = [wf.index_of(t) for t in cp]
+        cp_set = set(cp_idx)
+
+        children: list[PlanState] = []
+
+        if not ev.feasible:
+            # Promote critical tasks, largest time first.
+            order = sorted(cp_idx, key=lambda i: -mean_now[i])
+            for i in order[: self.children_per_state]:
+                child = state.promote(i, problem.num_types)
+                if child is not None:
+                    children.append(child)
+            # A couple of off-path promotes for exploration (the
+            # per-sample critical path can differ from the mean one).
+            off = sorted((i for i in range(n) if i not in cp_set), key=lambda i: -mean_now[i])
+            for i in off[: max(2, self.children_per_state // 4)]:
+                child = state.promote(i, problem.num_types)
+                if child is not None:
+                    children.append(child)
+            return children
+
+        # Feasible: demote to cut cost; off-path tasks have slack.
+        cost_now = problem.mean_times[state.assignment, idx] * problem.prices[state.assignment]
+        demote_saving = np.full(n, -np.inf)
+        for i in range(n):
+            t = int(state.assignment[i])
+            if t > 0:
+                demote_saving[i] = cost_now[i] - (
+                    problem.mean_times[t - 1, i] * problem.prices[t - 1]
+                )
+        off_order = sorted(
+            (i for i in range(n) if i not in cp_set and demote_saving[i] > 0),
+            key=lambda i: -demote_saving[i],
+        )
+        on_order = sorted(
+            (i for i in cp_idx if demote_saving[i] > 0), key=lambda i: -demote_saving[i]
+        )
+        half = max(1, self.children_per_state // 2)
+        for i in off_order[:half] + on_order[:half]:
+            child = state.demote(i)
+            if child is not None:
+                children.append(child)
+        # Keep one promote direction alive for robustness near the boundary.
+        if cp_idx:
+            i = max(cp_idx, key=lambda j: mean_now[j])
+            child = state.promote(i, problem.num_types)
+            if child is not None and (best is None or not best.feasible):
+                children.append(child)
+        return children
+
+
+# ---------------------------------------------------------------------------
+# A* search (enabled(astar) with user g/h scores)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class AStarResult:
+    """Outcome of an A* run."""
+
+    best_state: Hashable
+    best_f: float
+    expanded: int
+    visited: int
+    found_goal: bool
+
+
+class AStarSearch:
+    """Best-first A* over user-supplied scores.
+
+    Generic over any hashable state; the paper's usage supplies
+    ``cal_g_score``/``est_h_score`` from the WLog program (both mapped
+    to estimated monetary cost in Example 1's extension, and to the
+    ensemble Score metric in use case 2).
+    """
+
+    def __init__(self, max_expansions: int = 100_000):
+        if max_expansions < 1:
+            raise SolverError("max_expansions must be >= 1")
+        self.max_expansions = max_expansions
+
+    def solve(
+        self,
+        initial: Hashable,
+        neighbors: Callable[[Hashable], Iterable[Hashable]],
+        g_score: Callable[[Hashable], float],
+        h_score: Callable[[Hashable], float],
+        is_goal: Callable[[Hashable], bool],
+    ) -> AStarResult:
+        """Minimize ``g + h`` until the first goal state is popped.
+
+        With an admissible ``h`` the first goal popped is optimal; with
+        the paper's heuristic (h = current cost estimate) the search
+        degrades gracefully to greedy best-first, which is the behaviour
+        the paper exploits for pruning.
+        """
+        counter = itertools.count()
+        open_heap: list[tuple[float, int, Hashable]] = []
+        g0, h0 = g_score(initial), h_score(initial)
+        heapq.heappush(open_heap, (g0 + h0, next(counter), initial))
+        closed: set[Hashable] = set()
+        best_state, best_f, found = initial, g0 + h0, is_goal(initial)
+        expanded = 0
+
+        while open_heap and expanded < self.max_expansions:
+            f, _, state = heapq.heappop(open_heap)
+            if state in closed:
+                continue
+            closed.add(state)
+            expanded += 1
+            if is_goal(state):
+                return AStarResult(state, f, expanded, len(closed), True)
+            for nxt in neighbors(state):
+                if nxt in closed:
+                    continue
+                nf = g_score(nxt) + h_score(nxt)
+                heapq.heappush(open_heap, (nf, next(counter), nxt))
+                if nf < best_f:
+                    best_state, best_f = nxt, nf
+
+        return AStarResult(best_state, best_f, expanded, len(closed), found)

@@ -1,0 +1,102 @@
+"""The solver's plan-state representation.
+
+A state assigns every task an instance-type index (0 = cheapest in the
+default region), exactly the ``configs(Tid, Vid, Con)`` grounding of
+the WLog ``var`` directive.  States are immutable and hashable so the
+search's visited-set and pruning work on raw bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import SolverError
+
+__all__ = ["PlanState", "StateEval"]
+
+
+class PlanState:
+    """An immutable instance-type assignment vector."""
+
+    __slots__ = ("assignment", "_key")
+
+    def __init__(self, assignment: np.ndarray):
+        arr = np.asarray(assignment, dtype=np.int16)
+        if arr.ndim != 1:
+            raise SolverError(f"assignment must be 1-D, got shape {arr.shape}")
+        if arr.size and arr.min() < 0:
+            raise SolverError("assignment contains negative type indices")
+        arr = arr.copy()
+        arr.setflags(write=False)
+        self.assignment = arr
+        self._key = arr.tobytes()
+
+    @classmethod
+    def uniform(cls, num_tasks: int, type_index: int = 0) -> "PlanState":
+        """Every task on the same type (the paper's initial state uses 0)."""
+        return cls(np.full(num_tasks, type_index, dtype=np.int16))
+
+    def __len__(self) -> int:
+        return int(self.assignment.size)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, PlanState) and self._key == other._key
+
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    @property
+    def key(self) -> bytes:
+        return self._key
+
+    def with_type(self, task_index: int, type_index: int) -> "PlanState":
+        """A copy with one task reassigned."""
+        arr = self.assignment.copy()
+        arr[task_index] = type_index
+        return PlanState(arr)
+
+    def promote(self, task_index: int, num_types: int) -> "PlanState | None":
+        """Promote one task (None when already on the top type)."""
+        cur = int(self.assignment[task_index])
+        if cur + 1 >= num_types:
+            return None
+        return self.with_type(task_index, cur + 1)
+
+    def demote(self, task_index: int) -> "PlanState | None":
+        """Demote one task (None when already on the cheapest type)."""
+        cur = int(self.assignment[task_index])
+        if cur == 0:
+            return None
+        return self.with_type(task_index, cur - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PlanState({self.assignment.tolist()})"
+
+
+@dataclass(frozen=True)
+class StateEval:
+    """Evaluation of one state against the compiled problem.
+
+    ``cost`` is the paper's Eq. 1 objective; ``probability`` estimates
+    P(makespan <= deadline); ``feasible`` is that probability meeting
+    the declared percentile; ``mean_makespan`` is informational.
+    """
+
+    cost: float
+    probability: float
+    feasible: bool
+    mean_makespan: float
+
+    def better_than(self, other: "StateEval | None", mode: str = "minimize") -> bool:
+        """Feasibility-first comparison used by the search."""
+        if other is None:
+            return True
+        if self.feasible != other.feasible:
+            return self.feasible
+        if not self.feasible:
+            return self.probability > other.probability
+        if mode == "minimize":
+            return self.cost < other.cost
+        return self.cost > other.cost

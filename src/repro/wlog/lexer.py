@@ -1,0 +1,185 @@
+"""WLog tokenizer.
+
+Prolog-style lexical structure plus WLog's literal extensions:
+
+* **percent literals**: ``95%`` (probabilistic requirement levels);
+* **duration literals**: ``10h``, ``30m``, ``45s`` -- normalized to
+  seconds at lex time;
+* comments are ``/* ... */`` only (the ``%`` character is reserved for
+  percent literals, as in all of the paper's listings).
+
+Token kinds: ``ATOM``, ``VAR``, ``NUM``, ``PERCENT``, ``STRING``,
+``PUNCT`` (including multi-character operators), ``END`` (the clause
+terminator ``.``), ``EOF``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import WLogSyntaxError
+
+__all__ = ["Token", "tokenize"]
+
+#: Multi-character operators, longest first so prefixes don't shadow them.
+_OPERATORS = (
+    ":-",
+    "\\==",
+    "==",
+    "=<",
+    ">=",
+    "=:=",
+    "=\\=",
+    "->",
+    "\\+",
+    "=",
+    "<",
+    ">",
+    "+",
+    "-",
+    "*",
+    "/",
+    ",",
+    "(",
+    ")",
+    "[",
+    "]",
+    "|",
+    "!",
+)
+
+_UNIT_SECONDS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{self.kind}({self.value!r})@{self.line}:{self.column}"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize WLog source text; raises :class:`WLogSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i, line, col = 0, 1, 1
+    n = len(text)
+
+    def error(msg: str):
+        raise WLogSyntaxError(msg, line, col)
+
+    while i < n:
+        ch = text[i]
+
+        # Whitespace ----------------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            col = 1
+            continue
+
+        # Comments ------------------------------------------------------
+        if text.startswith("/*", i):
+            end = text.find("*/", i + 2)
+            if end < 0:
+                error("unterminated /* comment")
+            for c in text[i : end + 2]:
+                if c == "\n":
+                    line += 1
+                    col = 1
+                else:
+                    col += 1
+            i = end + 2
+            continue
+
+        start_line, start_col = line, col
+
+        # Numbers (with optional % or duration-unit suffix) --------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            j = i
+            seen_dot = False
+            while j < n and (text[j].isdigit() or (text[j] == "." and not seen_dot)):
+                if text[j] == ".":
+                    # A '.' followed by a non-digit is the clause terminator.
+                    if j + 1 >= n or not text[j + 1].isdigit():
+                        break
+                    seen_dot = True
+                j += 1
+            value = float(text[i:j])
+            kind = "NUM"
+            if j < n and text[j] == "%":
+                kind = "PERCENT"
+                j += 1
+            elif (
+                j < n
+                and text[j] in _UNIT_SECONDS
+                and (j + 1 >= n or not (text[j + 1].isalnum() or text[j + 1] == "_"))
+            ):
+                value *= _UNIT_SECONDS[text[j]]
+                j += 1
+            col += j - i
+            tokens.append(Token(kind, value, start_line, start_col))
+            i = j
+            continue
+
+        # Quoted atoms / strings ------------------------------------------
+        if ch in "'\"":
+            quote = ch
+            j = i + 1
+            buf = []
+            while j < n and text[j] != quote:
+                if text[j] == "\n":
+                    error("unterminated quoted atom")
+                if text[j] == "\\" and j + 1 < n:
+                    buf.append({"n": "\n", "t": "\t", "\\": "\\", quote: quote}.get(text[j + 1], text[j + 1]))
+                    j += 2
+                else:
+                    buf.append(text[j])
+                    j += 1
+            if j >= n:
+                error("unterminated quoted atom")
+            col += j + 1 - i
+            tokens.append(Token("ATOM", "".join(buf), start_line, start_col))
+            i = j + 1
+            continue
+
+        # Identifiers: variables and atoms ---------------------------------
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            kind = "VAR" if (word[0].isupper() or word[0] == "_") else "ATOM"
+            col += j - i
+            tokens.append(Token(kind, word, start_line, start_col))
+            i = j
+            continue
+
+        # Clause terminator -------------------------------------------------
+        if ch == ".":
+            tokens.append(Token("END", ".", start_line, start_col))
+            i += 1
+            col += 1
+            continue
+
+        # Operators / punctuation -------------------------------------------
+        for op in _OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("PUNCT", op, start_line, start_col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            error(f"unexpected character {ch!r}")
+
+    tokens.append(Token("EOF", None, line, col))
+    return tokens

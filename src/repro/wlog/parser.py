@@ -1,0 +1,301 @@
+"""WLog parser: Prolog clauses plus the WLog directive forms.
+
+Directive surface syntax (paper Example 1)::
+
+    import(amazonec2).
+    import(montage).
+    goal minimize Ct in totalcost(Ct).
+    cons T in maxtime(Path,T) satisfies deadline(95%, 10h).
+    var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).
+    enabled(astar).
+
+Everything else is a Prolog rule/fact.  Rule bodies support the
+arithmetic/comparison operators used by the paper's programs
+(``is``, ``==``, ``\\==``, ``<``, ``>``, ``=<``, ``>=``, ``=:=``,
+``=\\=``, ``=``, ``+``, ``-``, ``*``, ``/``), negation-as-failure
+``\\+`` and cut ``!``.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import WLogSyntaxError
+from repro.wlog.lexer import Token, tokenize
+from repro.wlog.program import ConsSpec, Directive, GoalSpec, VarSpec
+from repro.wlog.terms import NIL, Atom, Num, Rule, Struct, Term, Var, make_list
+
+__all__ = ["parse_program", "parse_term", "parse_query", "ParsedProgram"]
+
+_COMPARISONS = ("==", "\\==", "=<", ">=", "=:=", "=\\=", "<", ">", "=")
+
+
+class ParsedProgram:
+    """The raw parse result: rules plus classified directives."""
+
+    def __init__(self):
+        self.rules: list[Rule] = []
+        self.directives: list[Directive] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ParsedProgram(rules={len(self.rules)}, directives={len(self.directives)})"
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # Token helpers -----------------------------------------------------
+
+    @property
+    def cur(self) -> Token:
+        return self.tokens[self.pos]
+
+    def error(self, msg: str):
+        tok = self.cur
+        raise WLogSyntaxError(msg, tok.line, tok.column)
+
+    def advance(self) -> Token:
+        tok = self.cur
+        self.pos += 1
+        return tok
+
+    def at(self, kind: str, value: object | None = None) -> bool:
+        tok = self.cur
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def at_atom(self, name: str) -> bool:
+        return self.at("ATOM", name)
+
+    def expect(self, kind: str, value: object | None = None) -> Token:
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            self.error(f"expected {want!r}, found {self.cur.value!r}")
+        return self.advance()
+
+    # Program -----------------------------------------------------------
+
+    def parse_program(self) -> ParsedProgram:
+        out = ParsedProgram()
+        while not self.at("EOF"):
+            self.parse_clause(out)
+        return out
+
+    def parse_clause(self, out: ParsedProgram) -> None:
+        if self.at_atom("goal"):
+            self.advance()
+            out.directives.append(self.parse_goal_directive())
+        elif self.at_atom("cons"):
+            self.advance()
+            out.directives.append(self.parse_cons_directive())
+        elif self.at_atom("var") and not self._looks_like_callable():
+            self.advance()
+            out.directives.append(self.parse_var_directive())
+        else:
+            term = self.parse_goal_term()
+            directive = self._classify_directive(term)
+            if directive is not None and not self.at("PUNCT", ":-"):
+                out.directives.append(directive)
+                self.expect("END")
+                return
+            if self.at("PUNCT", ":-"):
+                self.advance()
+                body = self.parse_body()
+                out.rules.append(Rule(term, tuple(body)))
+            else:
+                out.rules.append(Rule(term))
+            self.expect("END")
+
+    def _looks_like_callable(self) -> bool:
+        """Distinguish the ``var`` keyword from a predicate named var."""
+        nxt = self.tokens[self.pos + 1]
+        return nxt.kind == "PUNCT" and nxt.value == "("
+
+    @staticmethod
+    def _classify_directive(term: Term) -> Directive | None:
+        if isinstance(term, Struct) and term.indicator == ("import", 1):
+            arg = term.args[0]
+            if isinstance(arg, Atom):
+                return Directive("import", arg.name)
+        if isinstance(term, Struct) and term.indicator == ("enabled", 1):
+            arg = term.args[0]
+            if isinstance(arg, Atom):
+                return Directive("enabled", arg.name)
+        return None
+
+    # Directives ----------------------------------------------------------
+
+    def parse_goal_directive(self) -> Directive:
+        if self.at_atom("minimize") or self.at_atom("maximize"):
+            mode = self.advance().value
+        else:
+            self.error("goal directive must start with 'minimize' or 'maximize'")
+        objective = self.parse_expression()
+        if not isinstance(objective, Var):
+            self.error("goal objective must be a variable (e.g. 'minimize Ct in ...')")
+        self.expect("ATOM", "in")
+        pred = self.parse_goal_term()
+        self.expect("END")
+        return Directive("goal", GoalSpec(mode=str(mode), objective=objective, predicate=pred))
+
+    def parse_cons_directive(self) -> Directive:
+        first = self.parse_expression()
+        variable: Var | None = None
+        predicate: Term
+        if isinstance(first, Var) and self.at_atom("in"):
+            variable = first
+            self.advance()
+            predicate = self.parse_goal_term()
+        else:
+            predicate = first
+        requirement: Term | None = None
+        if self.at_atom("satisfies"):
+            self.advance()
+            requirement = self.parse_goal_term()
+        self.expect("END")
+        return Directive(
+            "cons", ConsSpec(variable=variable, predicate=predicate, requirement=requirement)
+        )
+
+    def parse_var_directive(self) -> Directive:
+        decl = self.parse_goal_term()
+        domains: list[Term] = []
+        if self.at_atom("forall"):
+            self.advance()
+            domains.append(self.parse_goal_term())
+            while self.at_atom("and"):
+                self.advance()
+                domains.append(self.parse_goal_term())
+        self.expect("END")
+        return Directive("var", VarSpec(declaration=decl, domains=tuple(domains)))
+
+    # Rule bodies -----------------------------------------------------------
+
+    def parse_body(self) -> list[Term]:
+        goals = [self.parse_goal_term()]
+        while self.at("PUNCT", ","):
+            self.advance()
+            goals.append(self.parse_goal_term())
+        return goals
+
+    def parse_goal_term(self) -> Term:
+        """One body goal: expression, optionally joined by a comparison."""
+        if self.at("PUNCT", "!"):
+            self.advance()
+            return Atom("!")
+        if self.at("PUNCT", "\\+"):
+            self.advance()
+            return Struct("\\+", (self.parse_goal_term(),))
+        left = self.parse_expression()
+        if self.at_atom("is"):
+            self.advance()
+            return Struct("is", (left, self.parse_expression()))
+        for op in _COMPARISONS:
+            if self.at("PUNCT", op):
+                self.advance()
+                return Struct(op, (left, self.parse_expression()))
+        return left
+
+    # Expressions -------------------------------------------------------------
+
+    def parse_expression(self) -> Term:
+        left = self.parse_mul()
+        while self.at("PUNCT", "+") or self.at("PUNCT", "-"):
+            op = self.advance().value
+            left = Struct(str(op), (left, self.parse_mul()))
+        return left
+
+    def parse_mul(self) -> Term:
+        left = self.parse_primary()
+        while self.at("PUNCT", "*") or self.at("PUNCT", "/"):
+            op = self.advance().value
+            left = Struct(str(op), (left, self.parse_primary()))
+        return left
+
+    def parse_primary(self) -> Term:
+        tok = self.cur
+        if tok.kind in ("NUM", "PERCENT"):
+            self.advance()
+            return Num(float(tok.value))
+        if tok.kind == "PUNCT" and tok.value == "-":
+            self.advance()
+            inner = self.parse_primary()
+            if isinstance(inner, Num):
+                return Num(-inner.value)
+            return Struct("-", (Num(0.0), inner))
+        if tok.kind == "VAR":
+            self.advance()
+            if tok.value == "_":
+                # Each underscore is a distinct anonymous variable.
+                return Var(f"_G{id(tok)}")
+            return Var(str(tok.value))
+        if tok.kind == "ATOM":
+            self.advance()
+            name = str(tok.value)
+            if self.at("PUNCT", "("):
+                self.advance()
+                args = [self.parse_goal_term()]
+                while self.at("PUNCT", ","):
+                    self.advance()
+                    args.append(self.parse_goal_term())
+                self.expect("PUNCT", ")")
+                return Struct(name, tuple(args))
+            return Atom(name)
+        if tok.kind == "PUNCT" and tok.value == "(":
+            self.advance()
+            inner = self.parse_goal_term()
+            # A parenthesized conjunction (e.g. inside findall/3) becomes
+            # nested ','/2 structures, right-associated.
+            conj = [inner]
+            while self.at("PUNCT", ","):
+                self.advance()
+                conj.append(self.parse_goal_term())
+            self.expect("PUNCT", ")")
+            inner = conj[-1]
+            for g in reversed(conj[:-1]):
+                inner = Struct(",", (g, inner))
+            return inner
+        if tok.kind == "PUNCT" and tok.value == "[":
+            return self.parse_list()
+        self.error(f"unexpected token {tok.value!r}")
+
+    def parse_list(self) -> Term:
+        self.expect("PUNCT", "[")
+        if self.at("PUNCT", "]"):
+            self.advance()
+            return NIL
+        items = [self.parse_goal_term()]
+        while self.at("PUNCT", ","):
+            self.advance()
+            items.append(self.parse_goal_term())
+        tail: Term = NIL
+        if self.at("PUNCT", "|"):
+            self.advance()
+            tail = self.parse_goal_term()
+        self.expect("PUNCT", "]")
+        return make_list(items, tail)
+
+
+# Public API -------------------------------------------------------------------
+
+
+def parse_program(text: str) -> ParsedProgram:
+    """Parse WLog source into rules + directives."""
+    return _Parser(tokenize(text)).parse_program()
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term (no trailing period required)."""
+    parser = _Parser(tokenize(text))
+    term = parser.parse_goal_term()
+    if not parser.at("EOF") and not parser.at("END"):
+        parser.error(f"trailing input after term: {parser.cur.value!r}")
+    return term
+
+
+def parse_query(text: str) -> list[Term]:
+    """Parse a comma-separated conjunction of goals (no trailing period)."""
+    parser = _Parser(tokenize(text))
+    goals = parser.parse_body()
+    if not parser.at("EOF") and not parser.at("END"):
+        parser.error(f"trailing input after query: {parser.cur.value!r}")
+    return goals

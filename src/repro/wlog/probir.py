@@ -1,0 +1,208 @@
+"""The probabilistic intermediate representation and its evaluation.
+
+Translation (paper Section 5.1): a WLog program plus its imports become
+
+* ordinary rules (program rules + deterministic imported facts), and
+* probabilistic fact families ``p_j : exetime(Tid, Vid, T_j)`` -- one
+  weighted fact per histogram bin of the calibrated task-time
+  distribution.
+
+Evaluation (paper Algorithm 1): a query is answered by Monte Carlo --
+each iteration samples one *realization* (a concrete value for every
+probabilistic fact family), evaluates the query against the resulting
+deterministic database with the SLD engine, and aggregates:
+
+* constraint queries -> the fraction of realizations in which the
+  constraint holds (the estimate of P(constraint));
+* goal queries -> the mean of the queried objective value.
+
+Deterministic goals/constraints (Section 5.1, "Support for
+deterministic goals and constraints") use the same machinery with every
+fact collapsed to its mean at probability 1.0.
+
+This interpreter path is the *reference semantics*; the solver's
+vectorized backend (:mod:`repro.solver.backends`) computes the same
+quantities as array programs and is cross-checked against this module
+in the test suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import WLogError, WLogRuntimeError
+from repro.common.rng import spawn_rng
+from repro.wlog.engine import Database, Engine
+from repro.wlog.imports import ImportRegistry, MaterializedImports, ProbFactSpec
+from repro.wlog.program import ConsSpec, WLogProgram
+from repro.wlog.terms import Num, Rule, Struct, Term, to_python
+
+__all__ = ["ProbFact", "ProbabilisticIR", "IREvaluation", "translate"]
+
+#: Public alias: one probabilistic fact family.
+ProbFact = ProbFactSpec
+
+
+@dataclass(frozen=True)
+class IREvaluation:
+    """Result of evaluating a candidate solution against the IR."""
+
+    goal_value: float
+    feasible: bool
+    constraint_probabilities: tuple[float, ...]
+    iterations: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"IREvaluation(goal={self.goal_value:.6g}, feasible={self.feasible}, "
+            f"cons={[round(p, 3) for p in self.constraint_probabilities]})"
+        )
+
+
+class ProbabilisticIR:
+    """A translated WLog program ready for Monte Carlo query evaluation."""
+
+    def __init__(
+        self,
+        program: WLogProgram,
+        materialized: MaterializedImports,
+        deterministic: bool = False,
+    ):
+        self.program = program
+        self.materialized = materialized
+        self.deterministic = deterministic
+        base = Database(program.rules)
+        base.extend(materialized.rules)
+        self._base = base
+        self.prob_facts: tuple[ProbFactSpec, ...] = tuple(materialized.prob_facts)
+
+    # Databases ------------------------------------------------------------
+
+    def deterministic_database(self, extra_rules: tuple[Rule, ...] = ()) -> Database:
+        """All probabilistic facts collapsed to their means (p = 1.0)."""
+        db = self._base.clone()
+        for fact in self.prob_facts:
+            db.add(fact.mean_rule())
+        db.extend(extra_rules)
+        return db
+
+    def sampled_database(
+        self, rng: np.random.Generator, extra_rules: tuple[Rule, ...] = ()
+    ) -> Database:
+        """One Monte Carlo realization of the probabilistic facts."""
+        db = self._base.clone()
+        for fact in self.prob_facts:
+            value = fact.histogram.sample(rng)
+            db.add(Rule(Struct(fact.functor, (*fact.key, Num(float(value))))))
+        db.extend(extra_rules)
+        return db
+
+    # Queries ----------------------------------------------------------------
+
+    def _goal_query(self) -> tuple[Term, str]:
+        goal = self.program.goal
+        if goal is None:
+            raise WLogError("program has no goal to evaluate")
+        return goal.predicate, goal.objective.name
+
+    @staticmethod
+    def _constraint_threshold(cons: ConsSpec) -> tuple[float, float, str]:
+        """Decode a requirement into (percentile, bound, kind)."""
+        req = cons.requirement
+        if req is None:
+            return (100.0, float("nan"), "boolean")
+        if isinstance(req, Struct) and req.functor in ("deadline", "budget") and req.arity == 2:
+            p = to_python(req.args[0])
+            bound = to_python(req.args[1])
+            if not isinstance(p, (int, float)) or not isinstance(bound, (int, float)):
+                raise WLogError(f"malformed requirement {req!r}")
+            return (float(p), float(bound), req.functor)
+        raise WLogError(f"unsupported constraint requirement: {req!r}")
+
+    def _eval_once(self, db: Database, assignment_rules: tuple[Rule, ...]) -> tuple[float, list[bool]]:
+        """Evaluate goal value + constraint truths on one realization."""
+        engine = Engine(db)
+        goal_pred, goal_var = self._goal_query()
+        sol = engine.first(goal_pred)
+        if sol is None:
+            raise WLogRuntimeError(f"goal predicate {goal_pred!r} has no solution")
+        value = to_python(sol[goal_var])
+        if not isinstance(value, (int, float)):
+            raise WLogRuntimeError(f"goal variable bound to non-number: {sol[goal_var]!r}")
+
+        truths: list[bool] = []
+        for cons in self.program.constraints:
+            _, bound, kind = self._constraint_threshold(cons)
+            if kind == "boolean":
+                truths.append(engine.ask(cons.predicate))
+                continue
+            if cons.variable is None:
+                raise WLogError("deadline/budget constraint needs a measured variable")
+            csol = engine.first(cons.predicate)
+            if csol is None:
+                truths.append(False)
+                continue
+            measured = to_python(csol[cons.variable.name])
+            truths.append(float(measured) <= bound)
+        return float(value), truths
+
+    def evaluate(
+        self,
+        assignment_rules: tuple[Rule, ...] = (),
+        max_iter: int = 50,
+        seed: int = 0,
+    ) -> IREvaluation:
+        """Algorithm 1: Monte Carlo estimation of goal and constraints.
+
+        ``assignment_rules`` carries the candidate solution (the
+        ``configs``/``migrate`` facts the solver is testing).  In
+        deterministic mode a single evaluation over the mean database is
+        performed (every rule has probability 1.0, so one realization is
+        exact).
+        """
+        if self.deterministic or not self.prob_facts:
+            db = self.deterministic_database(tuple(assignment_rules))
+            value, truths = self._eval_once(db, tuple(assignment_rules))
+            probs = tuple(1.0 if t else 0.0 for t in truths)
+            feasible = self._feasibility(probs)
+            return IREvaluation(value, feasible, probs, 1)
+
+        if max_iter < 1:
+            raise WLogError(f"max_iter must be >= 1, got {max_iter}")
+        rng = spawn_rng(seed, "probir/monte-carlo")
+        total = 0.0
+        cons_true = np.zeros(len(self.program.constraints))
+        for _ in range(max_iter):
+            db = self.sampled_database(rng, tuple(assignment_rules))
+            value, truths = self._eval_once(db, tuple(assignment_rules))
+            total += value
+            cons_true += np.asarray(truths, dtype=float)
+        probs = tuple(float(p) for p in cons_true / max_iter)
+        return IREvaluation(total / max_iter, self._feasibility(probs), probs, max_iter)
+
+    def _feasibility(self, probabilities: tuple[float, ...]) -> bool:
+        """P(constraint) >= required level, for every constraint."""
+        for cons, prob in zip(self.program.constraints, probabilities):
+            level, _, kind = self._constraint_threshold(cons)
+            if kind == "boolean":
+                if prob < 1.0:
+                    return False
+            elif prob < level / 100.0 - 1e-12:
+                return False
+        return True
+
+
+def translate(
+    program: WLogProgram,
+    registry: ImportRegistry,
+    deterministic: bool = False,
+) -> ProbabilisticIR:
+    """Translate a WLog program into its probabilistic IR.
+
+    ``deterministic=True`` produces the p = 1.0 collapse used for
+    runtime (follow-the-cost style) optimizations.
+    """
+    materialized = registry.materialize(program.imports)
+    return ProbabilisticIR(program, materialized, deterministic=deterministic)

@@ -1,0 +1,176 @@
+"""The parsed WLog program object.
+
+A :class:`WLogProgram` holds the classified pieces of a WLog source
+file: the optimization ``goal``, the ``cons`` constraints, the ``var``
+decision-variable declaration, the ``import`` directives, solver hints
+(``enabled(astar)`` plus the ``cal_g_score``/``est_h_score`` rules) and
+the ordinary Prolog rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.common.errors import WLogError
+from repro.wlog.terms import Atom, Rule, Struct, Term, Var
+
+__all__ = ["Directive", "GoalSpec", "ConsSpec", "VarSpec", "WLogProgram"]
+
+
+@dataclass(frozen=True)
+class GoalSpec:
+    """``goal minimize Ct in totalcost(Ct).``"""
+
+    mode: str  # "minimize" | "maximize"
+    objective: Var
+    predicate: Term
+
+    def __post_init__(self):
+        if self.mode not in ("minimize", "maximize"):
+            raise WLogError(f"goal mode must be minimize/maximize, got {self.mode!r}")
+
+
+@dataclass(frozen=True)
+class ConsSpec:
+    """``cons T in maxtime(Path,T) satisfies deadline(95%, 10h).``
+
+    ``variable`` is the measured quantity (None for boolean
+    constraints); ``requirement`` is the constraint built-in term
+    (``deadline(p, d)``, ``budget(p, b)``) or None when ``predicate``
+    itself must simply hold.
+    """
+
+    variable: Var | None
+    predicate: Term
+    requirement: Term | None
+
+    def requirement_kind(self) -> str | None:
+        """'deadline' / 'budget' / functor of a custom requirement."""
+        if self.requirement is None:
+            return None
+        if isinstance(self.requirement, Struct):
+            return self.requirement.functor
+        if isinstance(self.requirement, Atom):
+            return self.requirement.name
+        raise WLogError(f"malformed constraint requirement: {self.requirement!r}")
+
+
+@dataclass(frozen=True)
+class VarSpec:
+    """``var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).``"""
+
+    declaration: Term
+    domains: tuple[Term, ...] = ()
+
+    def __post_init__(self):
+        if not isinstance(self.declaration, Struct):
+            raise WLogError(f"var declaration must be compound, got {self.declaration!r}")
+        object.__setattr__(self, "domains", tuple(self.domains))
+
+
+@dataclass(frozen=True)
+class Directive:
+    """A classified directive: kind in {import, enabled, goal, cons, var}."""
+
+    kind: str
+    payload: object
+
+    def __post_init__(self):
+        if self.kind not in ("import", "enabled", "goal", "cons", "var"):
+            raise WLogError(f"unknown directive kind {self.kind!r}")
+
+
+#: Heuristic predicates recognized when ``enabled(astar)`` is present.
+_G_SCORE = ("cal_g_score", 1)
+_H_SCORE = ("est_h_score", 1)
+
+
+class WLogProgram:
+    """A validated WLog program.
+
+    Build from source with :meth:`from_source`; the pieces are exposed
+    as attributes (``goal``, ``constraints``, ``var_spec``, ``imports``,
+    ``rules``...).
+    """
+
+    def __init__(
+        self,
+        rules: Sequence[Rule],
+        directives: Sequence[Directive],
+        source: str = "",
+    ):
+        self.rules: tuple[Rule, ...] = tuple(rules)
+        self.source = source
+        self.imports: tuple[str, ...] = ()
+        self.enabled: tuple[str, ...] = ()
+        self.goal: GoalSpec | None = None
+        self.constraints: tuple[ConsSpec, ...] = ()
+        self.var_spec: VarSpec | None = None
+
+        imports: list[str] = []
+        enabled: list[str] = []
+        constraints: list[ConsSpec] = []
+        for d in directives:
+            if d.kind == "import":
+                imports.append(str(d.payload))
+            elif d.kind == "enabled":
+                enabled.append(str(d.payload))
+            elif d.kind == "goal":
+                if self.goal is not None:
+                    raise WLogError("program declares more than one goal")
+                assert isinstance(d.payload, GoalSpec)
+                self.goal = d.payload
+            elif d.kind == "cons":
+                assert isinstance(d.payload, ConsSpec)
+                constraints.append(d.payload)
+            elif d.kind == "var":
+                if self.var_spec is not None:
+                    raise WLogError("program declares more than one var specification")
+                assert isinstance(d.payload, VarSpec)
+                self.var_spec = d.payload
+        self.imports = tuple(imports)
+        self.enabled = tuple(enabled)
+        self.constraints = tuple(constraints)
+
+    @classmethod
+    def from_source(cls, text: str) -> "WLogProgram":
+        """Parse and classify WLog source text."""
+        from repro.wlog.parser import parse_program  # deferred: parser imports this module
+
+        parsed = parse_program(text)
+        return cls(parsed.rules, parsed.directives, source=text)
+
+    # Solver hints --------------------------------------------------------
+
+    @property
+    def astar_enabled(self) -> bool:
+        return "astar" in self.enabled
+
+    def _has_rule(self, indicator: tuple[str, int]) -> bool:
+        return any(r.indicator == indicator for r in self.rules)
+
+    @property
+    def has_g_score(self) -> bool:
+        return self._has_rule(_G_SCORE)
+
+    @property
+    def has_h_score(self) -> bool:
+        return self._has_rule(_H_SCORE)
+
+    def validate_for_solving(self) -> None:
+        """Checks required before handing the program to the solver."""
+        if self.goal is None:
+            raise WLogError("program has no goal directive")
+        if self.var_spec is None:
+            raise WLogError("program has no var directive (nothing to optimize)")
+        if self.astar_enabled and not (self.has_g_score and self.has_h_score):
+            raise WLogError(
+                "enabled(astar) requires cal_g_score/1 and est_h_score/1 rules"
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"WLogProgram(rules={len(self.rules)}, imports={list(self.imports)}, "
+            f"goal={self.goal is not None}, cons={len(self.constraints)})"
+        )

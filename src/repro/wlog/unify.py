@@ -1,0 +1,97 @@
+"""Unification with a backtrackable binding trail.
+
+The engine binds variables destructively into one :class:`Bindings`
+store and undoes bindings on backtracking via trail marks -- the
+standard WAM-style discipline, which keeps unification allocation-free
+on the success path.
+"""
+
+from __future__ import annotations
+
+from repro.wlog.terms import Atom, Num, Struct, Term, Var
+
+__all__ = ["Bindings", "unify", "resolve"]
+
+
+class Bindings:
+    """A mutable variable-binding store with an undo trail."""
+
+    __slots__ = ("_map", "_trail")
+
+    def __init__(self):
+        self._map: dict[Var, Term] = {}
+        self._trail: list[Var] = []
+
+    def mark(self) -> int:
+        """Current trail position; pass to :meth:`undo` to backtrack."""
+        return len(self._trail)
+
+    def undo(self, mark: int) -> None:
+        """Unbind everything bound since ``mark``."""
+        trail = self._trail
+        while len(trail) > mark:
+            del self._map[trail.pop()]
+
+    def bind(self, var: Var, term: Term) -> None:
+        self._map[var] = term
+        self._trail.append(var)
+
+    def walk(self, term: Term) -> Term:
+        """Follow variable bindings to the representative term (shallow)."""
+        while isinstance(term, Var):
+            bound = self._map.get(term)
+            if bound is None:
+                return term
+            term = bound
+        return term
+
+    def __len__(self) -> int:
+        return len(self._map)
+
+
+def unify(a: Term, b: Term, bindings: Bindings) -> bool:
+    """Unify ``a`` and ``b``; on failure the trail is restored.
+
+    No occurs check (standard Prolog behaviour); WLog programs in this
+    domain never build cyclic terms.
+    """
+    mark = bindings.mark()
+    stack = [(a, b)]
+    while stack:
+        x, y = stack.pop()
+        x = bindings.walk(x)
+        y = bindings.walk(y)
+        if x is y:
+            continue
+        if isinstance(x, Var):
+            bindings.bind(x, y)
+        elif isinstance(y, Var):
+            bindings.bind(y, x)
+        elif isinstance(x, Atom) and isinstance(y, Atom):
+            if x.name != y.name:
+                bindings.undo(mark)
+                return False
+        elif isinstance(x, Num) and isinstance(y, Num):
+            if x.value != y.value:
+                bindings.undo(mark)
+                return False
+        elif isinstance(x, Struct) and isinstance(y, Struct):
+            if x.functor != y.functor or len(x.args) != len(y.args):
+                bindings.undo(mark)
+                return False
+            stack.extend(zip(x.args, y.args))
+        else:
+            bindings.undo(mark)
+            return False
+    return True
+
+
+def resolve(term: Term, bindings: Bindings) -> Term:
+    """Deep-substitute bindings into ``term`` (for answers/snapshots)."""
+    term = bindings.walk(term)
+    if isinstance(term, Struct):
+        args = tuple(resolve(a, bindings) for a in term.args)
+        if args == term.args:
+            return term
+        return Struct(term.functor, args)
+    return term

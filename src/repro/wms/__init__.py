@@ -1,0 +1,45 @@
+"""A Pegasus-like workflow management system (paper Fig. 3).
+
+The paper integrates Deco into Pegasus as an alternative to its
+traditional schedulers.  This package reproduces that integration
+surface with a lightweight WMS:
+
+* :mod:`~repro.wms.mapper` -- the *mapper*: abstract DAX workflow ->
+  executable workflow (executable lookup, site binding), Fig. 3's
+  first stage;
+* :mod:`~repro.wms.scheduler` -- the scheduler callout interface with
+  the Random default (Pegasus's), a fixed-plan scheduler, the
+  Autoscaling baseline and the Deco-backed scheduler;
+* :mod:`~repro.wms.condor` -- a Condor/DAGMan-style job queue: jobs
+  move IDLE -> RUNNING -> DONE as their parents complete, producing the
+  event log DAGMan would;
+* :mod:`~repro.wms.pegasus` -- the facade: ``submit`` a DAX (or
+  in-memory workflow), plan, schedule, execute on the cloud simulator.
+"""
+
+from repro.wms.mapper import ExecutableJob, ExecutableWorkflow, Mapper
+from repro.wms.scheduler import (
+    Scheduler,
+    RandomScheduler,
+    FixedPlanScheduler,
+    AutoscalingScheduler,
+    DecoScheduler,
+)
+from repro.wms.condor import CondorQueue, JobEvent, JobState
+from repro.wms.pegasus import PegasusLite, SubmitResult
+
+__all__ = [
+    "ExecutableJob",
+    "ExecutableWorkflow",
+    "Mapper",
+    "Scheduler",
+    "RandomScheduler",
+    "FixedPlanScheduler",
+    "AutoscalingScheduler",
+    "DecoScheduler",
+    "CondorQueue",
+    "JobEvent",
+    "JobState",
+    "PegasusLite",
+    "SubmitResult",
+]

@@ -1,0 +1,89 @@
+"""The WMS mapper: abstract workflow -> executable workflow.
+
+Pegasus's mapper resolves each abstract task to a concrete executable
+and an execution site.  Our executable catalog maps transformation
+names (``mProjectPP``...) to binary paths; the site is filled in later
+by the scheduler (instance type + region), after which the workflow is
+ready for the execution engine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.common.errors import ValidationError
+from repro.workflow.dag import Task, Workflow
+
+__all__ = ["ExecutableJob", "ExecutableWorkflow", "Mapper"]
+
+
+@dataclass(frozen=True)
+class ExecutableJob:
+    """One task bound to an executable and (optionally) a site."""
+
+    task: Task
+    executable_path: str
+    site: str | None = None  # instance type name once scheduled
+
+    def bound(self, site: str) -> "ExecutableJob":
+        return ExecutableJob(self.task, self.executable_path, site)
+
+
+@dataclass
+class ExecutableWorkflow:
+    """The mapper's output: jobs + the original DAG structure."""
+
+    workflow: Workflow
+    jobs: dict[str, ExecutableJob]
+
+    def __post_init__(self):
+        missing = [t for t in self.workflow.task_ids if t not in self.jobs]
+        if missing:
+            raise ValidationError(f"executable workflow missing jobs for {missing[:3]}")
+
+    @property
+    def is_scheduled(self) -> bool:
+        return all(j.site is not None for j in self.jobs.values())
+
+    def assignment(self) -> dict[str, str]:
+        """task id -> site (instance type); requires a scheduled workflow."""
+        if not self.is_scheduled:
+            unbound = [t for t, j in self.jobs.items() if j.site is None]
+            raise ValidationError(f"jobs not yet scheduled: {unbound[:3]}")
+        return {tid: job.site for tid, job in self.jobs.items()}  # type: ignore[misc]
+
+    def with_assignment(self, assignment: Mapping[str, str]) -> "ExecutableWorkflow":
+        """Bind every job to its scheduled site."""
+        jobs = {}
+        for tid, job in self.jobs.items():
+            try:
+                jobs[tid] = job.bound(assignment[tid])
+            except KeyError:
+                raise ValidationError(f"assignment missing task {tid!r}") from None
+        return ExecutableWorkflow(self.workflow, jobs)
+
+
+class Mapper:
+    """Resolves tasks to executables.
+
+    ``executable_catalog`` maps transformation name -> path; unknown
+    transformations fall back to ``/usr/local/bin/<name>`` (Pegasus
+    would consult the Transformation Catalog here).
+    """
+
+    DEFAULT_PREFIX = "/usr/local/bin"
+
+    def __init__(self, executable_catalog: Mapping[str, str] | None = None):
+        self.catalog = dict(executable_catalog or {})
+
+    def resolve(self, task: Task) -> str:
+        return self.catalog.get(task.executable, f"{self.DEFAULT_PREFIX}/{task.executable}")
+
+    def plan(self, workflow: Workflow) -> ExecutableWorkflow:
+        """Map an abstract workflow to an executable one (sites unbound)."""
+        jobs = {
+            tid: ExecutableJob(task=workflow.task(tid), executable_path=self.resolve(workflow.task(tid)))
+            for tid in workflow.task_ids
+        }
+        return ExecutableWorkflow(workflow, jobs)

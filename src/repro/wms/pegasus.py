@@ -1,0 +1,84 @@
+"""The WMS facade: submit -> plan -> schedule -> execute (paper Fig. 3).
+
+:class:`PegasusLite` reproduces the pipeline of the paper's Pegasus
+integration: a DAX file (or in-memory workflow) is planned by the
+mapper, bound to sites by the chosen scheduler callout (Random /
+Autoscaling / Deco / fixed), executed on the cloud simulator, and the
+Condor-style queue replays the execution to validate dependencies and
+produce the event log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cloud.instance_types import Catalog
+from repro.cloud.simulator import CloudSimulator, ExecutionResult
+from repro.common.rng import RngService
+from repro.wms.condor import CondorQueue, JobEvent
+from repro.wms.mapper import ExecutableWorkflow, Mapper
+from repro.wms.scheduler import Scheduler
+from repro.workflow.dag import Workflow
+from repro.workflow.dax import parse_dax
+
+__all__ = ["SubmitResult", "PegasusLite"]
+
+
+@dataclass(frozen=True)
+class SubmitResult:
+    """Everything a submission produced."""
+
+    executable: ExecutableWorkflow
+    execution: ExecutionResult
+    events: tuple[JobEvent, ...]
+
+    @property
+    def makespan(self) -> float:
+        return self.execution.makespan
+
+    @property
+    def cost(self) -> float:
+        return self.execution.cost
+
+    def assignment(self) -> dict[str, str]:
+        return self.executable.assignment()
+
+
+class PegasusLite:
+    """A minimal WMS wired to the cloud simulator."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        scheduler: Scheduler,
+        mapper: Mapper | None = None,
+        simulator: CloudSimulator | None = None,
+        seed: int = 0,
+    ):
+        self.catalog = catalog
+        self.scheduler = scheduler
+        self.mapper = mapper or Mapper()
+        self.simulator = simulator or CloudSimulator(catalog, RngService(seed))
+
+    def submit(
+        self,
+        workflow: Workflow | str | Path,
+        region: str | None = None,
+        run_id: int = 0,
+    ) -> SubmitResult:
+        """Run the full pipeline on a workflow or a DAX file path."""
+        if not isinstance(workflow, Workflow):
+            workflow = parse_dax(workflow)
+        executable = self.mapper.plan(workflow)
+        scheduled = self.scheduler.schedule(executable)
+        execution = self.simulator.execute(
+            workflow, scheduled.assignment(), region=region, run_id=run_id
+        )
+        queue = CondorQueue(workflow)
+        queue.replay(execution.task_records)
+        return SubmitResult(
+            executable=scheduled,
+            execution=execution,
+            events=tuple(queue.events),
+        )

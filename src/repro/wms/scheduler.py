@@ -1,0 +1,111 @@
+"""Scheduler callouts: the pluggable site-selection stage of the WMS.
+
+Users of the paper's Pegasus integration "alternatively choose from
+several traditional schedulers provided by Pegasus and our proposed
+Deco" -- this module is that choice point.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.baselines.autoscaling import autoscaling_plan
+from repro.baselines.static import random_plan
+from repro.cloud.instance_types import Catalog
+from repro.common.errors import ValidationError
+from repro.engine.deco import Deco
+from repro.wms.mapper import ExecutableWorkflow
+from repro.workflow.runtime_model import RuntimeModel
+
+__all__ = [
+    "Scheduler",
+    "RandomScheduler",
+    "FixedPlanScheduler",
+    "AutoscalingScheduler",
+    "DecoScheduler",
+]
+
+
+class Scheduler(abc.ABC):
+    """Binds every job of an executable workflow to an instance type."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def schedule(self, executable: ExecutableWorkflow) -> ExecutableWorkflow:
+        """Return a fully site-bound copy of ``executable``."""
+
+
+class RandomScheduler(Scheduler):
+    """Pegasus's default: a uniformly random site per task."""
+
+    name = "random"
+
+    def __init__(self, catalog: Catalog, seed: int = 0):
+        self.catalog = catalog
+        self.seed = seed
+
+    def schedule(self, executable: ExecutableWorkflow) -> ExecutableWorkflow:
+        plan = random_plan(executable.workflow, self.catalog, seed=self.seed)
+        return executable.with_assignment(plan)
+
+
+class FixedPlanScheduler(Scheduler):
+    """Applies a precomputed task -> type plan (e.g. a stored Deco plan)."""
+
+    name = "fixed"
+
+    def __init__(self, assignment: dict[str, str]):
+        if not assignment:
+            raise ValidationError("fixed plan must be non-empty")
+        self.assignment = dict(assignment)
+
+    def schedule(self, executable: ExecutableWorkflow) -> ExecutableWorkflow:
+        return executable.with_assignment(self.assignment)
+
+
+class AutoscalingScheduler(Scheduler):
+    """The Auto-scaling baseline as a WMS scheduler callout."""
+
+    name = "autoscaling"
+
+    def __init__(self, catalog: Catalog, deadline: float, runtime_model: RuntimeModel | None = None):
+        self.catalog = catalog
+        self.deadline = deadline
+        self.model = runtime_model or RuntimeModel(catalog)
+
+    def schedule(self, executable: ExecutableWorkflow) -> ExecutableWorkflow:
+        plan = autoscaling_plan(executable.workflow, self.catalog, self.deadline, self.model)
+        return executable.with_assignment(plan)
+
+
+class DecoScheduler(Scheduler):
+    """Deco as the WMS scheduler callout (the paper's integration).
+
+    The scheduler runs the full declarative optimization (probabilistic
+    deadline, transformation-driven search on the vectorized backend)
+    and binds the resulting plan.  The last computed plan is kept on
+    ``last_plan`` so the WMS can report optimizer statistics.
+    """
+
+    name = "deco"
+
+    def __init__(
+        self,
+        deco: Deco,
+        deadline: float | str = "medium",
+        deadline_percentile: float = 96.0,
+    ):
+        self.deco = deco
+        self.deadline = deadline
+        self.deadline_percentile = deadline_percentile
+        self.last_plan = None
+
+    def schedule(self, executable: ExecutableWorkflow) -> ExecutableWorkflow:
+        plan = self.deco.schedule(
+            executable.workflow,
+            deadline=self.deadline,
+            deadline_percentile=self.deadline_percentile,
+        )
+        self.last_plan = plan
+        return executable.with_assignment(plan.assignment)

@@ -1,0 +1,84 @@
+"""Structural workflow analysis.
+
+Metrics the characterization literature (and our DESIGN notes) report
+per workflow: level widths and parallelism, data footprint, critical
+path composition, and the CPU/data balance that decides which of Deco's
+optimization mechanisms bite (see EXPERIMENTS.md's Fig. 9/10 notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloud.instance_types import Catalog
+from repro.workflow.critical_path import critical_path, task_levels
+from repro.workflow.dag import Workflow
+from repro.workflow.runtime_model import RuntimeModel
+
+__all__ = ["WorkflowProfile", "profile_workflow"]
+
+
+@dataclass(frozen=True)
+class WorkflowProfile:
+    """Structural and resource summary of one workflow."""
+
+    name: str
+    num_tasks: int
+    num_edges: int
+    num_levels: int
+    max_width: int
+    avg_width: float
+    total_input_gb: float
+    total_output_gb: float
+    serial_seconds_ref: float
+    critical_path_tasks: tuple[str, ...]
+    critical_path_seconds: float
+    parallelism: float            # serial time / critical-path time
+    io_fraction_cheapest: float   # non-CPU share of mean task time
+
+    @property
+    def is_io_bound(self) -> bool:
+        """Whether I/O + network dominate on the cheapest type (>50%)."""
+        return self.io_fraction_cheapest > 0.5
+
+
+def profile_workflow(
+    workflow: Workflow,
+    catalog: Catalog,
+    runtime_model: RuntimeModel | None = None,
+) -> WorkflowProfile:
+    """Compute a :class:`WorkflowProfile` on the catalog's cheapest type."""
+    model = runtime_model or RuntimeModel(catalog)
+    cheapest = catalog.cheapest().name
+
+    levels = task_levels(workflow)
+    num_levels = (max(levels.values()) + 1) if levels else 0
+    widths = [0] * num_levels
+    for lv in levels.values():
+        widths[lv] += 1
+
+    times = {tid: model.mean(workflow.task(tid), cheapest) for tid in workflow.task_ids}
+    cp, cp_seconds = critical_path(workflow, times)
+    serial = sum(times.values())
+
+    cpu_total, full_total = 0.0, 0.0
+    for tid in workflow.task_ids:
+        comp = model.components(workflow.task(tid), cheapest)
+        cpu_total += comp.cpu_seconds
+        full_total += times[tid]
+
+    return WorkflowProfile(
+        name=workflow.name,
+        num_tasks=len(workflow),
+        num_edges=workflow.num_edges(),
+        num_levels=num_levels,
+        max_width=max(widths, default=0),
+        avg_width=(len(workflow) / num_levels) if num_levels else 0.0,
+        total_input_gb=sum(t.input_bytes for t in workflow) / 1e9,
+        total_output_gb=sum(t.output_bytes for t in workflow) / 1e9,
+        serial_seconds_ref=serial,
+        critical_path_tasks=cp,
+        critical_path_seconds=cp_seconds,
+        parallelism=(serial / cp_seconds) if cp_seconds > 0 else 1.0,
+        io_fraction_cheapest=(1.0 - cpu_total / full_total) if full_total > 0 else 0.0,
+    )

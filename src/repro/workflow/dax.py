@@ -1,0 +1,140 @@
+"""Pegasus DAX XML reader/writer.
+
+Implements the subset of the DAX 3.x schema that the paper's Fig. 4
+exercises: ``<job>`` elements with ``<uses>`` file references (``link``
+= ``input``/``output``) and ``<child>``/``<parent>`` dependency
+elements.  Round-tripping a :class:`~repro.workflow.dag.Workflow`
+through this module is lossless for the fields the engine consumes.
+
+Two non-standard (namespaced-out) attributes carry the runtime model's
+inputs: ``runtime`` on ``<job>`` (reference CPU seconds, also emitted by
+the Pegasus workflow generator) and ``size`` on ``<uses>`` (bytes).
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from pathlib import Path
+
+from repro.common.errors import ValidationError
+from repro.workflow.dag import FileSpec, Task, Workflow
+
+__all__ = ["parse_dax", "parse_dax_string", "write_dax", "to_dax_string"]
+
+_DAX_NS = "http://pegasus.isi.edu/schema/DAX"
+
+
+def _strip_ns(tag: str) -> str:
+    """Drop an XML namespace prefix: '{uri}job' -> 'job'."""
+    return tag.rsplit("}", 1)[-1]
+
+
+def parse_dax_string(text: str, name: str | None = None) -> Workflow:
+    """Parse DAX XML text into a :class:`Workflow`."""
+    try:
+        root = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise ValidationError(f"malformed DAX XML: {exc}") from exc
+    if _strip_ns(root.tag) != "adag":
+        raise ValidationError(f"expected <adag> root element, got <{_strip_ns(root.tag)}>")
+
+    wf_name = name or root.get("name") or "workflow"
+    tasks: list[Task] = []
+    edges: list[tuple[str, str]] = []
+
+    for elem in root:
+        tag = _strip_ns(elem.tag)
+        if tag == "job":
+            tasks.append(_parse_job(elem))
+        elif tag == "child":
+            child_id = elem.get("ref")
+            if not child_id:
+                raise ValidationError("<child> element missing 'ref' attribute")
+            for sub in elem:
+                if _strip_ns(sub.tag) != "parent":
+                    continue
+                parent_id = sub.get("ref")
+                if not parent_id:
+                    raise ValidationError("<parent> element missing 'ref' attribute")
+                edges.append((parent_id, child_id))
+
+    return Workflow(wf_name, tasks, edges)
+
+
+def _parse_job(elem: ET.Element) -> Task:
+    job_id = elem.get("id")
+    if not job_id:
+        raise ValidationError("<job> element missing 'id' attribute")
+    executable = elem.get("name") or "task"
+    runtime = float(elem.get("runtime", "1.0"))
+    inputs: list[FileSpec] = []
+    outputs: list[FileSpec] = []
+    for sub in elem:
+        if _strip_ns(sub.tag) != "uses":
+            continue
+        fname = sub.get("file") or sub.get("name")
+        if not fname:
+            raise ValidationError(f"<uses> under job {job_id!r} missing 'file' attribute")
+        size = int(float(sub.get("size", "0")))
+        link = (sub.get("link") or "input").lower()
+        spec = FileSpec(fname, size)
+        if link == "output":
+            outputs.append(spec)
+        else:
+            inputs.append(spec)
+    return Task(
+        task_id=job_id,
+        executable=executable,
+        runtime_ref=runtime,
+        inputs=tuple(inputs),
+        outputs=tuple(outputs),
+    )
+
+
+def parse_dax(path: str | Path, name: str | None = None) -> Workflow:
+    """Parse a DAX file from disk."""
+    text = Path(path).read_text(encoding="utf-8")
+    return parse_dax_string(text, name=name)
+
+
+def to_dax_string(workflow: Workflow) -> str:
+    """Serialize a workflow to DAX XML text."""
+    root = ET.Element(
+        "adag",
+        {
+            "xmlns": _DAX_NS,
+            "version": "3.4",
+            "name": workflow.name,
+            "jobCount": str(len(workflow)),
+            "childCount": str(workflow.num_edges()),
+        },
+    )
+    for task in workflow:
+        job = ET.SubElement(
+            root,
+            "job",
+            {"id": task.task_id, "name": task.executable, "runtime": repr(task.runtime_ref)},
+        )
+        for spec in task.inputs:
+            ET.SubElement(
+                job, "uses", {"file": spec.name, "link": "input", "size": str(spec.size_bytes)}
+            )
+        for spec in task.outputs:
+            ET.SubElement(
+                job, "uses", {"file": spec.name, "link": "output", "size": str(spec.size_bytes)}
+            )
+    # Pegasus groups all parents of one child under a single <child>.
+    for tid in workflow.task_ids:
+        parents = workflow.parents(tid)
+        if not parents:
+            continue
+        child = ET.SubElement(root, "child", {"ref": tid})
+        for pid in parents:
+            ET.SubElement(child, "parent", {"ref": pid})
+    ET.indent(root)
+    return ET.tostring(root, encoding="unicode", xml_declaration=True)
+
+
+def write_dax(workflow: Workflow, path: str | Path) -> None:
+    """Serialize a workflow to a DAX file on disk."""
+    Path(path).write_text(to_dax_string(workflow), encoding="utf-8")

@@ -1,0 +1,496 @@
+"""Structure-accurate synthetic workflow generators.
+
+The paper evaluates on three applications -- Montage (astronomy,
+I/O-intensive), Ligo Inspiral (gravitational-wave physics,
+CPU-intensive) and Epigenomics (bioinformatics, CPU-intensive with
+large inputs) -- generated with the Pegasus workflow generator, which
+follows the Bharathi/Juve characterization.  Ligo and Epigenomics are
+not open-sourced, so the paper itself uses synthetic instances; we do
+the same for all three (plus CyberShake and a Fig.-4-style pipeline).
+
+Structural fidelity: level structure, fan-in/fan-out patterns, and the
+CPU/IO balance per task type follow the characterization paper.  Task
+runtimes get a small lognormal jitter around type means (real profiles
+are heavy-tailed), drawn from a named RNG stream so generation is
+reproducible.
+
+Montage sizing: the paper's Montage-1/-4/-8 process 1/4/8-degree 2MASS
+mosaics.  We size the projection level as ``round(6 * degrees**1.5)``
+images, which lands Montage-1/4/8 at roughly 40/230/640 tasks -- inside
+the paper's 20-1000-task experimental range.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import ValidationError
+from repro.common.rng import spawn_rng
+from repro.workflow.dag import FileSpec, Task, Workflow
+
+__all__ = ["montage", "ligo", "epigenomics", "cybershake", "pipeline", "random_dag"]
+
+MB = 1_000_000
+GB = 1_000_000_000
+
+
+def _jitter(rng: np.random.Generator, mean: float, cv: float = 0.15) -> float:
+    """Lognormal jitter with the given coefficient of variation."""
+    if mean <= 0:
+        return 0.0
+    sigma = math.sqrt(math.log(1.0 + cv * cv))
+    mu = math.log(mean) - sigma * sigma / 2.0
+    return float(rng.lognormal(mu, sigma))
+
+
+class _Builder:
+    """Incremental DAG builder shared by all generators."""
+
+    def __init__(self, name: str, seed: int):
+        self.name = name
+        self.rng = spawn_rng(seed, f"workflow-gen/{name}")
+        self.tasks: list[Task] = []
+        self.edges: list[tuple[str, str]] = []
+        self._counter = 0
+
+    def add(
+        self,
+        executable: str,
+        runtime: float,
+        inputs: tuple[FileSpec, ...] = (),
+        outputs: tuple[FileSpec, ...] = (),
+        parents: tuple[str, ...] = (),
+        cv: float = 0.15,
+    ) -> str:
+        tid = f"ID{self._counter:05d}"
+        self._counter += 1
+        self.tasks.append(
+            Task(
+                task_id=tid,
+                executable=executable,
+                runtime_ref=_jitter(self.rng, runtime, cv),
+                inputs=inputs,
+                outputs=outputs,
+            )
+        )
+        for p in parents:
+            self.edges.append((p, tid))
+        return tid
+
+    def build(self) -> Workflow:
+        return Workflow(self.name, self.tasks, self.edges)
+
+
+def _files(prefix: str, tid_hint: int, sizes: list[int]) -> tuple[FileSpec, ...]:
+    return tuple(FileSpec(f"{prefix}.{tid_hint}.{i}", s) for i, s in enumerate(sizes))
+
+
+# ---------------------------------------------------------------------------
+# Montage
+# ---------------------------------------------------------------------------
+
+def montage(
+    degrees: float | None = None,
+    num_tasks: int | None = None,
+    seed: int = 0,
+    name: str | None = None,
+) -> Workflow:
+    """Synthetic Montage mosaic workflow.
+
+    Levels (Bharathi characterization)::
+
+        mProjectPP (xN) -> mDiffFit (x~2.5N) -> mConcatFit -> mBgModel
+        -> mBackground (xN) -> mImgtbl -> mAdd -> mShrink -> mJPEG
+
+    ``degrees`` sets the mosaic size (the paper's Montage-1/4/8);
+    alternatively ``num_tasks`` requests an approximate total task count
+    (used by the ensemble experiments).
+    """
+    if degrees is None and num_tasks is None:
+        degrees = 1.0
+    if degrees is not None and degrees <= 0:
+        raise ValidationError(f"degrees must be > 0, got {degrees}")
+    if num_tasks is not None:
+        if num_tasks < 10:
+            raise ValidationError(f"montage needs >= 10 tasks, got {num_tasks}")
+        # total ~= n + 2.5n + n + 6  =>  n ~= (total - 6) / 4.5
+        n_images = max(2, round((num_tasks - 6) / 4.5))
+        label = name or f"montage-n{num_tasks}"
+    else:
+        n_images = max(2, round(6.0 * float(degrees) ** 1.5))
+        label = name or f"montage-{degrees:g}"
+    b = _Builder(label, seed)
+
+    # Montage is the paper's I/O-intensive application: per-image data
+    # volume (2MASS tiles plus reprojections) dominates most task times,
+    # and Montage-8's aggregate input lands in the "hundreds of GB"
+    # regime the paper quotes.
+    img_mb = 2000.0
+
+    projections = []
+    for i in range(n_images):
+        tid = b.add(
+            "mProjectPP",
+            runtime=300.0,
+            inputs=_files("2mass", i, [int(img_mb * MB)]),
+            outputs=_files("proj", i, [int(2 * img_mb * MB)]),
+        )
+        projections.append(tid)
+
+    # mDiffFit on overlapping projection pairs: a ring + skip pattern
+    # yielding ~2.5N diffs like real tessellations do.
+    diffs = []
+    n = len(projections)
+    pairs: set[tuple[int, int]] = set()
+    for i in range(n):
+        for step in (1, 2, 3):
+            j = i + step
+            if j < n:
+                pairs.add((i, j))
+    for k, (i, j) in enumerate(sorted(pairs)):
+        tid = b.add(
+            "mDiffFit",
+            runtime=75.0,
+            inputs=_files("proj", i, [int(2 * img_mb * MB)])
+            + _files("proj", j, [int(2 * img_mb * MB)]),
+            outputs=_files("diff", k, [4 * MB]),
+            parents=(projections[i], projections[j]),
+        )
+        diffs.append(tid)
+
+    concat = b.add(
+        "mConcatFit",
+        runtime=150.0 + 1.0 * len(diffs),
+        inputs=tuple(FileSpec(f"diff.{k}.0", 4 * MB) for k in range(len(diffs))),
+        outputs=_files("fits", 0, [1 * MB]),
+        parents=tuple(diffs),
+    )
+    bgmodel = b.add(
+        "mBgModel",
+        runtime=600.0 + 10.0 * n,
+        inputs=_files("fits", 0, [1 * MB]),
+        outputs=_files("corr", 0, [1 * MB]),
+        parents=(concat,),
+    )
+    backgrounds = []
+    for i in range(n_images):
+        tid = b.add(
+            "mBackground",
+            runtime=100.0,
+            inputs=_files("proj", i, [int(2 * img_mb * MB)]) + _files("corr", 0, [1 * MB]),
+            outputs=_files("bgfree", i, [int(2 * img_mb * MB)]),
+            parents=(projections[i], bgmodel),
+        )
+        backgrounds.append(tid)
+    imgtbl = b.add(
+        "mImgtbl",
+        runtime=50.0 + 1.0 * n,
+        inputs=tuple(FileSpec(f"bgfree.{i}.hdr", 1 * MB) for i in range(n_images)),
+        outputs=_files("tbl", 0, [1 * MB]),
+        parents=tuple(backgrounds),
+    )
+    madd = b.add(
+        "mAdd",
+        runtime=300.0 + 10.0 * n,
+        inputs=tuple(FileSpec(f"bgfree.{i}.0", int(2 * img_mb * MB)) for i in range(n_images))
+        + _files("tbl", 0, [1 * MB]),
+        outputs=_files("mosaic", 0, [int(0.25 * img_mb * n * MB)]),
+        parents=(imgtbl,) + tuple(backgrounds),
+    )
+    shrink = b.add(
+        "mShrink",
+        runtime=150.0 + 2.5 * n,
+        inputs=_files("mosaic", 0, [int(0.25 * img_mb * n * MB)]),
+        outputs=_files("shrunk", 0, [int(0.25 * img_mb * n * MB / 16)]),
+        parents=(madd,),
+    )
+    b.add(
+        "mJPEG",
+        runtime=50.0 + 1.0 * n,
+        inputs=_files("shrunk", 0, [int(0.25 * img_mb * n * MB / 16)]),
+        outputs=_files("jpg", 0, [2 * MB]),
+        parents=(shrink,),
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Ligo Inspiral
+# ---------------------------------------------------------------------------
+
+def ligo(num_tasks: int = 100, seed: int = 0, name: str | None = None) -> Workflow:
+    """Synthetic Ligo Inspiral analysis workflow (CPU-intensive).
+
+    Structure per group of ``g`` channels::
+
+        TmpltBank (xg) -> Inspiral (xg) -> Thinca (x1)
+        -> TrigBank (xg) -> Inspiral2 (xg) -> Thinca2 (x1)
+
+    i.e. 4g + 2 tasks per group; groups are stacked side by side until
+    ``num_tasks`` is (approximately) reached.
+    """
+    if num_tasks < 6:
+        raise ValidationError(f"ligo needs >= 6 tasks, got {num_tasks}")
+    b = _Builder(name or f"ligo-n{num_tasks}", seed)
+    g = 5  # channels per group, per the characterization
+    per_group = 4 * g + 2
+    n_groups = max(1, round(num_tasks / per_group))
+    for grp in range(n_groups):
+        banks = [
+            b.add(
+                "TmpltBank",
+                runtime=18.0,
+                inputs=_files("gwf", grp * g + i, [220 * MB]),
+                outputs=_files("bank", grp * g + i, [1 * MB]),
+            )
+            for i in range(g)
+        ]
+        inspirals = [
+            b.add(
+                "Inspiral",
+                runtime=460.0,
+                cv=0.25,
+                # Inspiral matched-filters the detector frame data against
+                # the template bank, so it re-reads the (large) GWF input.
+                inputs=_files("bank", grp * g + i, [1 * MB])
+                + _files("gwf", grp * g + i, [220 * MB]),
+                outputs=_files("insp", grp * g + i, [2 * MB]),
+                parents=(banks[i],),
+            )
+            for i in range(g)
+        ]
+        thinca = b.add(
+            "Thinca",
+            runtime=5.0,
+            inputs=tuple(FileSpec(f"insp.{grp * g + i}.0", 2 * MB) for i in range(g)),
+            outputs=_files("coinc", grp, [1 * MB]),
+            parents=tuple(inspirals),
+        )
+        trigbanks = [
+            b.add(
+                "TrigBank",
+                runtime=5.0,
+                inputs=_files("coinc", grp, [1 * MB]),
+                outputs=_files("trig", grp * g + i, [1 * MB]),
+                parents=(thinca,),
+            )
+            for i in range(g)
+        ]
+        inspirals2 = [
+            b.add(
+                "Inspiral2",
+                runtime=450.0,
+                cv=0.25,
+                inputs=_files("trig", grp * g + i, [1 * MB]),
+                outputs=_files("insp2", grp * g + i, [2 * MB]),
+                parents=(trigbanks[i],),
+            )
+            for i in range(g)
+        ]
+        b.add(
+            "Thinca2",
+            runtime=5.0,
+            inputs=tuple(FileSpec(f"insp2.{grp * g + i}.0", 2 * MB) for i in range(g)),
+            outputs=_files("result", grp, [1 * MB]),
+            parents=tuple(inspirals2),
+        )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Epigenomics
+# ---------------------------------------------------------------------------
+
+def epigenomics(num_tasks: int = 100, seed: int = 0, name: str | None = None) -> Workflow:
+    """Synthetic Epigenomics (genome-mapping) workflow.
+
+    Per lane: ``fastQSplit -> (filterContams -> sol2sanger -> fastq2bfq
+    -> map) x k -> mapMerge``; lanes join into ``maqIndex -> pileup``.
+    The paper notes Epigenomics inputs run to dozens of GB; lane split
+    files are sized accordingly.
+    """
+    if num_tasks < 8:
+        raise ValidationError(f"epigenomics needs >= 8 tasks, got {num_tasks}")
+    b = _Builder(name or f"epigenomics-n{num_tasks}", seed)
+    # Per lane with k splits: 1 + 4k + 1 tasks; plus 2 global tasks.
+    lanes = 2 if num_tasks >= 60 else 1
+    k = max(1, round((num_tasks - 2 - 2 * lanes) / (4 * lanes)))
+    merges = []
+    for lane in range(lanes):
+        split = b.add(
+            "fastQSplit",
+            runtime=35.0,
+            inputs=_files("fastq", lane, [6 * GB]),
+            outputs=tuple(FileSpec(f"chunk.{lane}.{i}", 6 * GB // k) for i in range(k)),
+        )
+        maps = []
+        for i in range(k):
+            f = b.add(
+                "filterContams",
+                runtime=2.5,
+                inputs=(FileSpec(f"chunk.{lane}.{i}", 6 * GB // k),),
+                outputs=(FileSpec(f"filt.{lane}.{i}", 5 * GB // k),),
+                parents=(split,),
+            )
+            s = b.add(
+                "sol2sanger",
+                runtime=0.5,
+                inputs=(FileSpec(f"filt.{lane}.{i}", 5 * GB // k),),
+                outputs=(FileSpec(f"sanger.{lane}.{i}", 5 * GB // k),),
+                parents=(f,),
+            )
+            q = b.add(
+                "fastq2bfq",
+                runtime=1.5,
+                inputs=(FileSpec(f"sanger.{lane}.{i}", 5 * GB // k),),
+                outputs=(FileSpec(f"bfq.{lane}.{i}", 2 * GB // k),),
+                parents=(s,),
+            )
+            m = b.add(
+                "map",
+                runtime=180.0,
+                cv=0.3,
+                inputs=(FileSpec(f"bfq.{lane}.{i}", 2 * GB // k),),
+                outputs=(FileSpec(f"mapped.{lane}.{i}", 500 * MB // k),),
+                parents=(q,),
+            )
+            maps.append(m)
+        merge = b.add(
+            "mapMerge",
+            runtime=10.0 + 0.5 * k,
+            inputs=tuple(FileSpec(f"mapped.{lane}.{i}", 500 * MB // k) for i in range(k)),
+            outputs=(FileSpec(f"merged.{lane}", 500 * MB),),
+            parents=tuple(maps),
+        )
+        merges.append(merge)
+    index = b.add(
+        "maqIndex",
+        runtime=40.0,
+        inputs=tuple(FileSpec(f"merged.{lane}", 500 * MB) for lane in range(lanes)),
+        outputs=(FileSpec("index", 700 * MB),),
+        parents=tuple(merges),
+    )
+    b.add(
+        "pileup",
+        runtime=55.0,
+        inputs=(FileSpec("index", 700 * MB),),
+        outputs=(FileSpec("pileup.out", 100 * MB),),
+        parents=(index,),
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# CyberShake (extension beyond the paper's three, used in extra tests)
+# ---------------------------------------------------------------------------
+
+def cybershake(num_tasks: int = 100, seed: int = 0, name: str | None = None) -> Workflow:
+    """Synthetic CyberShake seismic-hazard workflow.
+
+    ``ExtractSGT (xm) -> SeismogramSynthesis (x k per SGT) -> PeakValCalc
+    (x same) -> ZipPSA`` -- a wide, data-heavy two-stage fan-out.
+    """
+    if num_tasks < 6:
+        raise ValidationError(f"cybershake needs >= 6 tasks, got {num_tasks}")
+    b = _Builder(name or f"cybershake-n{num_tasks}", seed)
+    m = max(2, round(math.sqrt(num_tasks / 2.0)))
+    k = max(1, round((num_tasks - 1 - m) / (2 * m)))
+    peaks = []
+    for i in range(m):
+        sgt = b.add(
+            "ExtractSGT",
+            runtime=110.0,
+            inputs=_files("sgtvar", i, [5 * GB]),
+            outputs=_files("sgt", i, [200 * MB]),
+        )
+        for j in range(k):
+            syn = b.add(
+                "SeismogramSynthesis",
+                runtime=48.0,
+                inputs=_files("sgt", i, [200 * MB]),
+                outputs=(FileSpec(f"seis.{i}.{j}", 20 * MB),),
+                parents=(sgt,),
+            )
+            peak = b.add(
+                "PeakValCalc",
+                runtime=1.5,
+                inputs=(FileSpec(f"seis.{i}.{j}", 20 * MB),),
+                outputs=(FileSpec(f"peak.{i}.{j}", 1 * MB),),
+                parents=(syn,),
+            )
+            peaks.append(peak)
+    b.add(
+        "ZipPSA",
+        runtime=6.0,
+        inputs=tuple(FileSpec(f"peak.{i}.{j}", 1 * MB) for i in range(m) for j in range(k)),
+        outputs=(FileSpec("psa.zip", 50 * MB),),
+        parents=tuple(peaks),
+    )
+    return b.build()
+
+
+# ---------------------------------------------------------------------------
+# Pipeline (the paper's Fig. 4 example) and random DAGs (property tests)
+# ---------------------------------------------------------------------------
+
+def pipeline(
+    num_tasks: int = 4,
+    seed: int = 0,
+    runtime: float = 60.0,
+    data_mb: float = 100.0,
+    name: str | None = None,
+) -> Workflow:
+    """A linear chain ``process1 -> process2 -> ...`` like the paper's Fig. 4."""
+    if num_tasks < 1:
+        raise ValidationError(f"pipeline needs >= 1 task, got {num_tasks}")
+    b = _Builder(name or f"pipeline-n{num_tasks}", seed)
+    prev: str | None = None
+    for i in range(num_tasks):
+        fin = FileSpec("f.a" if i == 0 else f"f.b{i}", int(data_mb * MB))
+        fout = FileSpec(f"f.b{i + 1}" if i + 1 < num_tasks else "f.c", int(data_mb * MB))
+        prev = b.add(
+            f"process{i + 1}",
+            runtime=runtime,
+            inputs=(fin,),
+            outputs=(fout,),
+            parents=(prev,) if prev else (),
+        )
+    return b.build()
+
+
+def random_dag(
+    num_tasks: int,
+    edge_prob: float = 0.2,
+    seed: int = 0,
+    max_runtime: float = 100.0,
+    name: str | None = None,
+) -> Workflow:
+    """A random layered DAG for property-based testing.
+
+    Edges only go from lower to higher task index, guaranteeing
+    acyclicity by construction.
+    """
+    if num_tasks < 1:
+        raise ValidationError(f"random_dag needs >= 1 task, got {num_tasks}")
+    if not 0.0 <= edge_prob <= 1.0:
+        raise ValidationError(f"edge_prob must be in [0, 1], got {edge_prob}")
+    rng = spawn_rng(seed, f"workflow-gen/random-{num_tasks}")
+    tasks = [
+        Task(
+            task_id=f"ID{i:05d}",
+            executable="synthetic",
+            runtime_ref=float(rng.uniform(1.0, max_runtime)),
+            inputs=(FileSpec(f"in.{i}", int(rng.integers(1, 100)) * MB),),
+            outputs=(FileSpec(f"out.{i}", int(rng.integers(1, 100)) * MB),),
+        )
+        for i in range(num_tasks)
+    ]
+    edges = [
+        (f"ID{i:05d}", f"ID{j:05d}")
+        for i in range(num_tasks)
+        for j in range(i + 1, num_tasks)
+        if rng.random() < edge_prob
+    ]
+    return Workflow(name or f"random-n{num_tasks}", tasks, edges)

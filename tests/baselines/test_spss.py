@@ -1,0 +1,71 @@
+"""Tests for the SPSS ensemble baseline."""
+
+import pytest
+
+from repro.baselines.spss import spss_decide, spss_member_plan
+from repro.common.errors import ValidationError
+from repro.workflow.ensembles import Ensemble, make_ensemble
+from repro.workflow.generators import montage
+
+
+@pytest.fixture(scope="module")
+def ensemble(catalog, runtime_model):
+    base = make_ensemble("uniform_unsorted", montage, 5, sizes=(20, 40), seed=7)
+    from repro.engine.plan import deadline_presets
+
+    return base.with_constraints(
+        budget=1e18,
+        deadline_for=lambda m: deadline_presets(m.workflow, catalog, runtime_model).medium,
+    )
+
+
+class TestMemberPlan:
+    def test_uniform_type_plan(self, catalog, runtime_model):
+        wf = montage(degrees=1, seed=0)
+        planned = spss_member_plan(wf, catalog, deadline=1e9, model=runtime_model)
+        assert planned is not None
+        plan, cost = planned
+        assert set(plan.values()) == {"m1.small"}  # loosest deadline -> cheapest
+        assert cost > 0
+
+    def test_infeasible_returns_none(self, catalog, runtime_model):
+        wf = montage(degrees=1, seed=0)
+        assert spss_member_plan(wf, catalog, deadline=1.0, model=runtime_model) is None
+
+    def test_tighter_deadline_pricier_type(self, catalog, runtime_model):
+        wf = montage(degrees=1, seed=0)
+        from repro.engine.plan import deadline_presets
+
+        presets = deadline_presets(wf, catalog, runtime_model)
+        _, loose_cost = spss_member_plan(wf, catalog, presets.loose, runtime_model)
+        _, tight_cost = spss_member_plan(wf, catalog, presets.tight, runtime_model)
+        assert tight_cost >= loose_cost
+
+
+class TestDecide:
+    def test_admits_in_priority_order(self, ensemble, catalog, runtime_model):
+        decision = spss_decide(ensemble, catalog, runtime_model)
+        assert list(decision.admitted_priorities) == sorted(decision.admitted_priorities)
+
+    def test_budget_respected(self, ensemble, catalog, runtime_model):
+        full = spss_decide(ensemble, catalog, runtime_model)
+        half = Ensemble(ensemble.name, ensemble.members, budget=full.total_cost / 2)
+        decision = spss_decide(half, catalog, runtime_model)
+        assert decision.total_cost <= half.budget + 1e-9
+        assert decision.num_admitted < full.num_admitted
+
+    def test_infinite_budget_rejected(self, ensemble, catalog, runtime_model):
+        unbounded = Ensemble(ensemble.name, ensemble.members, budget=float("inf"))
+        with pytest.raises(ValidationError):
+            spss_decide(unbounded, catalog, runtime_model)
+
+    def test_planned_score(self, ensemble, catalog, runtime_model):
+        decision = spss_decide(ensemble, catalog, runtime_model)
+        assert decision.planned_score() == pytest.approx(
+            sum(2.0 ** (-p) for p in decision.admitted_priorities)
+        )
+
+    def test_plans_and_costs_cover_admitted(self, ensemble, catalog, runtime_model):
+        decision = spss_decide(ensemble, catalog, runtime_model)
+        assert set(decision.plans) == set(decision.admitted_priorities)
+        assert set(decision.costs) == set(decision.admitted_priorities)

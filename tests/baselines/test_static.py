@@ -1,0 +1,47 @@
+"""Tests for the single-type and Random schedulers."""
+
+import pytest
+
+from repro.baselines.static import random_plan, single_type_plan
+from repro.common.errors import ValidationError
+from repro.workflow.generators import montage
+
+
+class TestSingleType:
+    def test_uniform(self, catalog):
+        wf = montage(degrees=1, seed=0)
+        plan = single_type_plan(wf, "m1.large", catalog)
+        assert set(plan.values()) == {"m1.large"}
+        assert set(plan) == set(wf.task_ids)
+
+    def test_unknown_type_rejected(self, catalog):
+        with pytest.raises(ValidationError):
+            single_type_plan(montage(degrees=1, seed=0), "z9.nano", catalog)
+
+
+class TestRandom:
+    def test_covers_all_tasks(self, catalog):
+        wf = montage(degrees=1, seed=0)
+        plan = random_plan(wf, catalog, seed=1)
+        assert set(plan) == set(wf.task_ids)
+        assert set(plan.values()) <= set(catalog.type_names)
+
+    def test_uses_multiple_types(self, catalog):
+        wf = montage(degrees=4, seed=0)
+        plan = random_plan(wf, catalog, seed=1)
+        assert len(set(plan.values())) > 1
+
+    def test_deterministic_per_seed(self, catalog):
+        wf = montage(degrees=1, seed=0)
+        assert random_plan(wf, catalog, seed=5) == random_plan(wf, catalog, seed=5)
+        assert random_plan(wf, catalog, seed=5) != random_plan(wf, catalog, seed=6)
+
+    def test_roughly_uniform(self, catalog):
+        wf = montage(degrees=8, seed=0)
+        plan = random_plan(wf, catalog, seed=2)
+        counts = {}
+        for t in plan.values():
+            counts[t] = counts.get(t, 0) + 1
+        expected = len(wf) / len(catalog)
+        for name in catalog.type_names:
+            assert counts.get(name, 0) == pytest.approx(expected, rel=0.4)

@@ -1,0 +1,57 @@
+"""Tests for the bench harness utilities."""
+
+import pytest
+
+from repro.bench.harness import BenchConfig, format_table, is_full_profile, normalize
+
+
+class TestNormalize:
+    def test_adds_normalized_column(self):
+        rows = [{"cost": 2.0}, {"cost": 4.0}]
+        out = normalize(rows, "cost", reference=4.0)
+        assert [r["cost_norm"] for r in out] == [0.5, 1.0]
+
+    def test_original_rows_untouched(self):
+        rows = [{"cost": 2.0}]
+        normalize(rows, "cost", reference=2.0)
+        assert "cost_norm" not in rows[0]
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            normalize([{"cost": 1.0}], "cost", reference=0.0)
+
+
+class TestBenchConfig:
+    def test_factories(self):
+        config = BenchConfig(seed=3, num_samples=20, max_evaluations=50)
+        deco = config.deco()
+        assert deco.seed == 3
+        assert deco.num_samples == 20
+        sim = config.simulator()
+        assert sim.catalog is config.catalog
+
+    def test_deco_overrides(self):
+        config = BenchConfig(seed=3)
+        deco = config.deco(max_evaluations=99)
+        assert deco._search.max_evaluations == 99
+
+    def test_full_profile_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FULL", raising=False)
+        assert not is_full_profile()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "1")
+        assert is_full_profile()
+        monkeypatch.setenv("REPRO_BENCH_FULL", "0")
+        assert not is_full_profile()
+
+
+class TestFormatTable:
+    def test_column_alignment(self):
+        text = format_table([{"name": "a", "value": 1.23456}], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.235" in lines[3]  # 4 significant digits
+
+    def test_booleans_rendered(self):
+        text = format_table([{"ok": True}, {"ok": False}])
+        assert "yes" in text and "no" in text

@@ -1,0 +1,91 @@
+"""Tests for the cloud metadata store."""
+
+import pytest
+
+from repro.cloud.metadata import METRICS, MetadataStore, PerfRecord
+from repro.common.errors import CloudError
+from repro.distributions import Histogram, NormalDistribution
+
+
+class TestFromCatalog:
+    def test_full_population(self, catalog):
+        store = MetadataStore.from_catalog(catalog)
+        assert len(store) == len(catalog) * len(METRICS)
+        for itype in catalog:
+            for metric in METRICS:
+                assert (metric, itype.name) in store
+
+    def test_histogram_tracks_distribution(self, catalog):
+        store = MetadataStore.from_catalog(catalog, bins=30)
+        small = catalog.type("m1.small")
+        h = store.histogram("seq_io", "m1.small")
+        assert h.mean() == pytest.approx(small.seq_io.mean(), rel=0.01)
+
+    def test_source_marked_catalog(self, catalog):
+        store = MetadataStore.from_catalog(catalog)
+        assert all(r.source == "catalog" for r in store.records())
+
+
+class TestPutGet:
+    def test_missing_record_raises(self, catalog):
+        store = MetadataStore(catalog)
+        with pytest.raises(CloudError):
+            store.get("seq_io", "m1.small")
+
+    def test_put_validates_instance_type(self, catalog):
+        store = MetadataStore(catalog)
+        record = PerfRecord(
+            metric="seq_io",
+            instance_type="nonexistent",
+            histogram=Histogram.point(1.0),
+            distribution=NormalDistribution(1.0, 0.1),
+        )
+        from repro.common.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            store.put(record)
+
+    def test_unknown_metric_rejected(self, catalog):
+        with pytest.raises(CloudError):
+            PerfRecord(
+                metric="latency",
+                instance_type="m1.small",
+                histogram=Histogram.point(1.0),
+                distribution=NormalDistribution(1.0, 0.1),
+            )
+
+    def test_calibration_overwrites_catalog(self, catalog):
+        store = MetadataStore.from_catalog(catalog)
+        record = PerfRecord(
+            metric="seq_io",
+            instance_type="m1.small",
+            histogram=Histogram.point(42.0),
+            distribution=NormalDistribution(42.0, 1.0),
+            source="calibration",
+        )
+        store.put(record)
+        assert store.get("seq_io", "m1.small").source == "calibration"
+        assert store.histogram("seq_io", "m1.small").mean() == 42.0
+
+
+class TestInstanceFacts:
+    def test_paper_fact_shape(self, catalog):
+        store = MetadataStore.from_catalog(catalog)
+        facts = store.instance_facts()
+        assert len(facts) == len(catalog)
+        small = next(f for f in facts if f["instype"] == "m1.small")
+        assert small["price"] == 0.044
+        assert small["cpu"] == 1
+        assert small["mem"] == 1.7
+
+    def test_regional_facts(self, catalog):
+        store = MetadataStore.from_catalog(catalog)
+        facts = store.instance_facts(region="ap-southeast-1")
+        small = next(f for f in facts if f["instype"] == "m1.small")
+        assert small["price"] == 0.058
+        assert small["region"] == "ap-southeast-1"
+
+    def test_vid_is_dense_index(self, catalog):
+        store = MetadataStore.from_catalog(catalog)
+        vids = [f["vid"] for f in store.instance_facts()]
+        assert vids == list(range(len(catalog)))

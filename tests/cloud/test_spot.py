@@ -1,0 +1,96 @@
+"""Tests for the spot-market pricing extension."""
+
+import numpy as np
+import pytest
+
+from repro.cloud.spot import SpotOutcome, SpotPriceProcess, simulate_spot_run
+from repro.common.errors import CloudError
+
+
+@pytest.fixture()
+def process(catalog):
+    return SpotPriceProcess.for_type(catalog, "m1.large")
+
+
+class TestPriceProcess:
+    def test_prices_within_bounds(self, process, rng):
+        prices = process.simulate(500, rng)
+        assert np.all(prices >= process.floor_fraction * process.on_demand - 1e-12)
+        assert np.all(prices <= process.cap_fraction * process.on_demand + 1e-12)
+
+    def test_mean_reversion(self, process, rng):
+        prices = process.simulate(5000, rng)
+        assert prices.mean() == pytest.approx(process.mean_price, rel=0.15)
+
+    def test_spot_cheaper_than_on_demand_on_average(self, process, rng):
+        prices = process.simulate(2000, rng)
+        assert prices.mean() < process.on_demand
+
+    def test_autocorrelation_positive(self, process, rng):
+        prices = process.simulate(2000, rng)
+        a, b = prices[:-1] - prices.mean(), prices[1:] - prices.mean()
+        corr = float((a * b).mean() / (a.std() * b.std()))
+        assert corr > 0.3  # phi = 0.7
+
+    def test_validation(self, catalog):
+        with pytest.raises(CloudError):
+            SpotPriceProcess(on_demand=0.0)
+        with pytest.raises(CloudError):
+            SpotPriceProcess(on_demand=1.0, phi=1.0)
+        with pytest.raises(CloudError):
+            SpotPriceProcess(on_demand=1.0, floor_fraction=0.5, mean_fraction=0.3)
+        with pytest.raises(CloudError):
+            SpotPriceProcess(on_demand=1.0).simulate(0, np.random.default_rng(0))
+
+    def test_for_type_validates(self, catalog):
+        with pytest.raises(Exception):
+            SpotPriceProcess.for_type(catalog, "z9.nano")
+
+
+class TestSpotRun:
+    def test_high_bid_always_completes(self, process, rng):
+        out = simulate_spot_run(process, 3.0, bid=process.on_demand * 2.1, rng=rng, trials=50)
+        assert out.completion_probability == 1.0
+        assert out.mean_revocations == 0.0
+
+    def test_high_bid_still_cheaper_than_on_demand(self, process, rng):
+        """The spot headline: pay the market price, not the bid."""
+        out = simulate_spot_run(process, 3.0, bid=process.on_demand * 2.1, rng=rng, trials=100)
+        assert out.saving_vs_on_demand > 0.3
+
+    def test_low_bid_risks_completion(self, process, rng):
+        """Bidding below the mean price must hurt completion odds."""
+        low = simulate_spot_run(
+            process, 6.0, bid=process.mean_price * 0.8, rng=rng, trials=100, horizon_hours=48
+        )
+        high = simulate_spot_run(
+            process, 6.0, bid=process.on_demand, rng=rng, trials=100, horizon_hours=48
+        )
+        assert low.completion_probability < high.completion_probability
+
+    def test_revocations_lengthen_makespan(self, process, rng):
+        tight = simulate_spot_run(
+            process, 4.0, bid=process.mean_price * 1.05, rng=rng, trials=150
+        )
+        assert tight.mean_makespan_hours >= 4.0
+        assert tight.mean_revocations >= 0.0
+
+    def test_invalid_args(self, process, rng):
+        with pytest.raises(CloudError):
+            simulate_spot_run(process, 0.0, bid=1.0, rng=rng)
+        with pytest.raises(CloudError):
+            simulate_spot_run(process, 1.0, bid=0.0, rng=rng)
+        with pytest.raises(CloudError):
+            simulate_spot_run(process, 1.0, bid=1.0, rng=rng, trials=0)
+
+    def test_fractional_duration_rounds_up(self, process, rng):
+        out = simulate_spot_run(process, 2.5, bid=process.on_demand * 2.1, rng=rng, trials=20)
+        assert out.on_demand_cost == pytest.approx(3 * process.on_demand)
+
+    def test_outcome_saving_degenerate(self):
+        out = SpotOutcome(
+            bid=1.0, completion_probability=0.0, mean_cost=float("nan"),
+            mean_makespan_hours=float("nan"), mean_revocations=float("nan"),
+            on_demand_cost=0.0,
+        )
+        assert out.saving_vs_on_demand == 0.0

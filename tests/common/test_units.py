@@ -1,0 +1,58 @@
+"""Tests for time/money unit conversions and billing."""
+
+import pytest
+
+from repro.common.units import (
+    SECONDS_PER_HOUR,
+    billed_cost,
+    billed_hours,
+    fractional_cost,
+    hours_to_seconds,
+    seconds_to_hours,
+)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        assert seconds_to_hours(hours_to_seconds(2.5)) == pytest.approx(2.5)
+
+    def test_seconds_per_hour(self):
+        assert SECONDS_PER_HOUR == 3600.0
+
+    def test_hours_to_seconds(self):
+        assert hours_to_seconds(1.5) == 5400.0
+
+
+class TestBilledHours:
+    def test_zero_usage_bills_one_hour(self):
+        # Acquiring an instance always starts a billing hour.
+        assert billed_hours(0.0) == 1
+
+    def test_exact_hour_boundary(self):
+        assert billed_hours(3600.0) == 1
+
+    def test_just_over_boundary(self):
+        assert billed_hours(3600.001) == 2
+
+    def test_many_hours(self):
+        assert billed_hours(10 * 3600.0 - 1) == 10
+
+    def test_negative_usage_rejected(self):
+        with pytest.raises(ValueError):
+            billed_hours(-1.0)
+
+
+class TestCosts:
+    def test_fractional_cost(self):
+        assert fractional_cost(1800.0, 0.10) == pytest.approx(0.05)
+
+    def test_fractional_cost_negative_rejected(self):
+        with pytest.raises(ValueError):
+            fractional_cost(-1.0, 0.1)
+
+    def test_billed_cost_rounds_up(self):
+        assert billed_cost(3700.0, 0.10) == pytest.approx(0.20)
+
+    def test_billed_at_least_fractional(self):
+        for seconds in (1.0, 1800.0, 3600.0, 5000.0, 86_400.0):
+            assert billed_cost(seconds, 0.44) >= fractional_cost(seconds, 0.44) - 1e-12

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloud.instance_types import ec2_catalog
+from repro.common.rng import RngService
+from repro.workflow.dag import FileSpec, Task, Workflow
+from repro.workflow.runtime_model import RuntimeModel
+
+MB = 1_000_000
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return ec2_catalog()
+
+@pytest.fixture(scope="session")
+def runtime_model(catalog):
+    return RuntimeModel(catalog)
+
+
+@pytest.fixture()
+def rngs():
+    return RngService(seed=1234)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(99)
+
+
+def build_diamond(runtime: float = 100.0, data_mb: float = 500.0) -> Workflow:
+    """A 4-task diamond: a -> (b, c) -> d."""
+    size = int(data_mb * MB)
+
+    def task(tid, rt):
+        return Task(
+            task_id=tid,
+            executable=f"exe_{tid}",
+            runtime_ref=rt,
+            inputs=(FileSpec(f"in_{tid}", size),),
+            outputs=(FileSpec(f"out_{tid}", size),),
+        )
+
+    return Workflow(
+        "diamond",
+        [task("a", runtime), task("b", 2 * runtime), task("c", runtime), task("d", runtime)],
+        [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")],
+    )
+
+
+@pytest.fixture()
+def diamond() -> Workflow:
+    return build_diamond()
+
+
+@pytest.fixture()
+def chain3() -> Workflow:
+    """A 3-task chain with small data (fast in the interpreter)."""
+    tasks = [
+        Task(task_id=f"t{i}", executable="p", runtime_ref=60.0,
+             inputs=(FileSpec(f"f{i}", 100 * MB),),
+             outputs=(FileSpec(f"f{i + 1}", 100 * MB),))
+        for i in range(3)
+    ]
+    return Workflow("chain3", tasks, [("t0", "t1"), ("t1", "t2")])

@@ -1,0 +1,79 @@
+"""Tests for distribution fitting / goodness-of-fit (the calibration math)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.distributions import (
+    GammaDistribution,
+    NormalDistribution,
+    best_fit,
+    fit_gamma,
+    fit_normal,
+    goodness_of_fit,
+)
+
+
+class TestFitNormal:
+    def test_recovers_parameters(self, rng):
+        data = rng.normal(150.3, 50.0, size=8000)
+        fit = fit_normal(data)
+        assert fit.distribution.mu == pytest.approx(150.3, rel=0.02)
+        assert fit.distribution.sigma == pytest.approx(50.0, rel=0.05)
+
+    def test_accepts_true_family(self, rng):
+        data = rng.normal(0, 1, size=5000)
+        assert fit_normal(data).accepted()
+
+    def test_rejects_wrong_family(self, rng):
+        data = rng.exponential(1.0, size=5000)
+        assert not fit_normal(data).accepted()
+
+    def test_needs_enough_samples(self):
+        with pytest.raises(ValidationError):
+            fit_normal([1.0, 2.0])
+
+
+class TestFitGamma:
+    def test_recovers_table2_parameters(self, rng):
+        # m1.small sequential I/O: Gamma(k=129.3, theta=0.79).
+        data = rng.gamma(129.3, 0.79, size=10_000)
+        fit = fit_gamma(data)
+        assert fit.distribution.k == pytest.approx(129.3, rel=0.06)
+        assert fit.distribution.theta == pytest.approx(0.79, rel=0.06)
+
+    def test_rejects_nonpositive_samples(self, rng):
+        with pytest.raises(ValidationError):
+            fit_gamma(np.concatenate([rng.gamma(2, 1, 100), [-1.0]]))
+
+
+class TestBestFit:
+    def test_picks_gamma_for_gamma_data(self, rng):
+        data = rng.gamma(5.0, 2.0, size=6000)
+        assert best_fit(data).family == "gamma"
+
+    def test_picks_normal_for_normal_data(self, rng):
+        # High-k gamma is close to normal; use clearly normal data with
+        # negatives so the gamma candidate is excluded.
+        data = rng.normal(0.0, 1.0, size=6000)
+        assert best_fit(data).family == "normal"
+
+    def test_unknown_family_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            best_fit(rng.normal(size=100), families=("weibull",))
+
+    def test_all_failures_rejected(self, rng):
+        data = np.concatenate([rng.normal(size=100), [-5.0]])
+        with pytest.raises(ValidationError):
+            best_fit(data, families=("gamma",))
+
+
+class TestGoodnessOfFit:
+    def test_high_pvalue_for_true_distribution(self, rng):
+        dist = NormalDistribution(10.0, 2.0)
+        data = dist.sample(rng, 3000)
+        assert goodness_of_fit(data, dist) > 0.05
+
+    def test_low_pvalue_for_wrong_distribution(self, rng):
+        data = np.random.default_rng(0).normal(10.0, 2.0, size=3000)
+        assert goodness_of_fit(data, GammaDistribution(1.0, 10.0)) < 0.01

@@ -1,0 +1,65 @@
+"""Tests for the WLog -> compiled-problem lowering."""
+
+import pytest
+
+from repro.common.errors import WLogError
+from repro.engine.compiler import compile_or_raise, try_compile
+from repro.wlog.imports import ImportRegistry
+from repro.wlog.library import scheduling_program
+from repro.wlog.probir import translate
+from repro.wlog.program import WLogProgram
+from repro.workflow.generators import pipeline
+
+
+@pytest.fixture()
+def registry(catalog):
+    reg = ImportRegistry()
+    reg.register_cloud("amazonec2", catalog)
+    reg.register_workflow("montage", pipeline(3, seed=0))
+    return reg
+
+
+def ir_for(src, registry):
+    return translate(WLogProgram.from_source(src), registry)
+
+
+class TestTryCompile:
+    def test_example1_compiles(self, registry):
+        ir = ir_for(scheduling_program(percentile=92, deadline_seconds=1234.0), registry)
+        problem = try_compile(ir, num_samples=8)
+        assert problem is not None
+        assert problem.deadline == 1234.0
+        assert problem.required_probability == pytest.approx(0.92)
+        assert problem.num_tasks == 3
+
+    def test_maximize_goal_rejected(self, registry):
+        src = scheduling_program().replace("minimize", "maximize")
+        assert try_compile(ir_for(src, registry)) is None
+
+    def test_missing_deadline_rejected(self, registry):
+        src = scheduling_program()
+        src = "\n".join(l for l in src.splitlines() if not l.startswith("cons"))
+        assert try_compile(ir_for(src, registry)) is None
+
+    def test_missing_cloud_rejected(self, registry):
+        src = scheduling_program().replace("import(amazonec2).", "")
+        assert try_compile(ir_for(src, registry)) is None
+
+    def test_missing_workflow_rejected(self, registry):
+        src = scheduling_program().replace("import(montage).", "")
+        assert try_compile(ir_for(src, registry)) is None
+
+    def test_foreign_goal_predicate_rejected(self, registry):
+        src = scheduling_program().replace("totalcost(Ct)", "megacost(Ct)")
+        assert try_compile(ir_for(src, registry)) is None
+
+    def test_compile_or_raise_message(self, registry):
+        src = scheduling_program().replace("minimize", "maximize")
+        with pytest.raises(WLogError, match="compilable scheduling pattern"):
+            compile_or_raise(ir_for(src, registry))
+
+    def test_region_override(self, registry, catalog):
+        ir = ir_for(scheduling_program(), registry)
+        us = try_compile(ir, num_samples=4)
+        sg = try_compile(ir, num_samples=4, region="ap-southeast-1")
+        assert sg.prices[0] > us.prices[0]

@@ -1,0 +1,128 @@
+"""Tests for the Deco facade (use case 1)."""
+
+import pytest
+
+from repro.common.errors import InfeasibleError, ValidationError
+from repro.engine.deco import Deco
+from repro.solver.backends import CompiledProblem, VectorizedBackend
+from repro.wlog.imports import ImportRegistry
+from repro.wlog.library import scheduling_program
+from repro.workflow.generators import montage, pipeline
+
+
+@pytest.fixture(scope="module")
+def deco(catalog):
+    return Deco(catalog, seed=1, num_samples=100, max_evaluations=800)
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return montage(degrees=1, seed=2)
+
+
+class TestSchedule:
+    def test_returns_feasible_plan(self, deco, wf):
+        plan = deco.schedule(wf, "medium")
+        assert plan.feasible
+        assert plan.probability >= 0.96 - 1e-9
+        assert set(plan.assignment) == set(wf.task_ids)
+
+    def test_deadline_presets_accepted(self, deco, wf):
+        tight = deco.schedule(wf, "tight")
+        loose = deco.schedule(wf, "loose")
+        assert loose.expected_cost <= tight.expected_cost + 1e-9
+
+    def test_numeric_deadline(self, deco, wf):
+        d = deco.presets(wf).medium
+        plan = deco.schedule(wf, d)
+        assert plan.deadline == pytest.approx(d)
+
+    def test_invalid_deadline_rejected(self, deco, wf):
+        with pytest.raises(ValidationError):
+            deco.schedule(wf, -5.0)
+        with pytest.raises(ValidationError):
+            deco.schedule(wf, "weird")
+
+    def test_higher_percentile_not_cheaper(self, deco, wf):
+        lo = deco.schedule(wf, "medium", deadline_percentile=90.0)
+        hi = deco.schedule(wf, "medium", deadline_percentile=99.9)
+        assert hi.expected_cost >= lo.expected_cost - 1e-9
+
+    def test_beats_any_feasible_uniform_config(self, deco, wf, catalog):
+        plan = deco.schedule(wf, "medium")
+        problem = CompiledProblem.compile(
+            wf, catalog, plan.deadline, 96.0, 100, seed=1,
+            runtime_model=deco.runtime_model,
+        )
+        backend = VectorizedBackend()
+        from repro.solver.state import PlanState
+
+        for t in range(len(catalog)):
+            ev = backend.evaluate(problem, PlanState.uniform(len(wf), t))
+            if ev.feasible:
+                assert plan.expected_cost <= ev.cost + 1e-12
+
+    def test_beats_autoscaling_expected_cost(self, deco, wf, catalog):
+        """Deco improves (or matches) its heuristic warm start."""
+        from repro.baselines.autoscaling import autoscaling_plan_calibrated
+
+        plan = deco.schedule(wf, "medium")
+        as_plan = autoscaling_plan_calibrated(
+            wf, catalog, plan.deadline, 96.0, deco.runtime_model, 100, seed=1
+        )
+        problem = CompiledProblem.compile(
+            wf, catalog, plan.deadline, 96.0, 100, seed=1,
+            runtime_model=deco.runtime_model,
+        )
+        ev = VectorizedBackend().evaluate(problem, problem.state_from_assignment(as_plan))
+        if ev.feasible:
+            assert plan.expected_cost <= ev.cost + 1e-9
+
+    def test_require_feasible_raises_on_impossible(self, catalog):
+        deco = Deco(catalog, num_samples=40, max_evaluations=150, require_feasible=True)
+        wf = pipeline(3, seed=0, runtime=600.0)
+        with pytest.raises(InfeasibleError):
+            deco.schedule(wf, 1.0)
+
+    def test_metadata_fields(self, deco, wf):
+        plan = deco.schedule(wf, "medium")
+        assert plan.backend == "gpu"
+        assert plan.evaluations > 0
+        assert plan.solve_seconds > 0
+        assert plan.overhead_ms_per_task() > 0
+
+    def test_cpu_backend_same_result(self, catalog, wf):
+        gpu = Deco(catalog, seed=1, num_samples=40, max_evaluations=200)
+        cpu = Deco(catalog, seed=1, num_samples=40, max_evaluations=200, backend="cpu")
+        a = gpu.schedule(wf, "medium")
+        b = cpu.schedule(wf, "medium")
+        assert a.expected_cost == pytest.approx(b.expected_cost)
+        assert a.assignment == b.assignment
+
+
+class TestDeclarativePath:
+    def test_solve_program_matches_schedule(self, catalog, wf, deco):
+        reg = ImportRegistry(deco.runtime_model)
+        reg.register_cloud("amazonec2", catalog)
+        reg.register_workflow("montage", wf)
+        d = deco.presets(wf).medium
+        src = scheduling_program(percentile=96, deadline_seconds=d)
+        from_program = deco.solve_program(src, reg)
+        direct = deco.schedule(wf, d, deadline_percentile=96.0)
+        assert from_program.expected_cost == pytest.approx(direct.expected_cost)
+        assert from_program.assignment == direct.assignment
+
+    def test_unrecognized_program_raises(self, catalog, deco):
+        from repro.common.errors import WLogError
+
+        reg = ImportRegistry()
+        reg.register_cloud("amazonec2", catalog)
+        src = "import(amazonec2).\ngoal minimize X in other(X).\nvar configs(T,V,C) forall task(T).\nother(1)."
+        with pytest.raises(WLogError):
+            deco.solve_program(src, reg)
+
+    def test_example1_source_parses(self, deco):
+        from repro.wlog.program import WLogProgram
+
+        prog = WLogProgram.from_source(deco.example1_source())
+        prog.validate_for_solving()

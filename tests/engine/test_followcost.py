@@ -1,0 +1,112 @@
+"""Tests for the follow-the-cost driver (use case 3)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.engine.followcost import FollowCostDriver, WorkflowDeployment
+from repro.workflow.generators import ligo, montage
+from repro.workflow.runtime_model import RuntimeModel
+
+
+@pytest.fixture(scope="module")
+def driver(catalog, runtime_model):
+    return FollowCostDriver(catalog, seed=2, period=900.0, runtime_model=runtime_model)
+
+
+def make_deployment(catalog, runtime_model, region, generator=ligo, size=40, seed=0,
+                    type_name="m1.medium", slack=2.0):
+    wf = generator(num_tasks=size, seed=seed) if generator is ligo else generator(degrees=1, seed=seed)
+    assignment = {tid: type_name for tid in wf.task_ids}
+    serial = sum(runtime_model.mean(wf.task(t), type_name) for t in wf.task_ids)
+    return WorkflowDeployment(
+        workflow=wf, assignment=assignment, region=region, deadline=serial * slack
+    )
+
+
+class TestDeployment:
+    def test_missing_assignment_rejected(self, catalog):
+        wf = ligo(20, seed=0)
+        with pytest.raises(ValidationError):
+            WorkflowDeployment(workflow=wf, assignment={}, region="us-east-1", deadline=10.0)
+
+    def test_bad_deadline_rejected(self, catalog, runtime_model):
+        wf = ligo(20, seed=0)
+        with pytest.raises(ValidationError):
+            WorkflowDeployment(
+                workflow=wf,
+                assignment={t: "m1.small" for t in wf.task_ids},
+                region="us-east-1",
+                deadline=0.0,
+            )
+
+
+class TestPolicies:
+    @pytest.fixture(scope="class")
+    def fleet(self, catalog, runtime_model):
+        return [
+            make_deployment(catalog, runtime_model, "ap-southeast-1", seed=1),
+            make_deployment(catalog, runtime_model, "us-east-1", seed=2),
+        ]
+
+    def test_all_policies_complete(self, driver, fleet):
+        for policy in ("deco", "heuristic", "static"):
+            result = driver.run(fleet, policy=policy)
+            assert all(m > 0 for m in result.makespans)
+            assert result.total_cost > 0
+
+    def test_static_never_migrates(self, driver, fleet):
+        assert driver.run(fleet, policy="static").num_migrations == 0
+
+    def test_migration_exploits_price_difference(self, driver, fleet):
+        """CPU-bound Ligo in Singapore should move to the cheaper US East."""
+        result = driver.run(fleet, policy="deco")
+        assert result.num_migrations >= 1
+
+    def test_deco_not_worse_than_static(self, driver, fleet):
+        deco = driver.run(fleet, policy="deco")
+        static = driver.run(fleet, policy="static")
+        assert deco.total_cost <= static.total_cost * 1.02
+
+    def test_costs_decompose(self, driver, fleet):
+        result = driver.run(fleet, policy="deco")
+        assert result.total_cost == pytest.approx(result.exec_cost + result.migration_cost)
+
+    def test_unknown_policy_rejected(self, driver, fleet):
+        with pytest.raises(ValidationError):
+            driver.run(fleet, policy="oracle")
+
+    def test_bad_threshold_rejected(self, driver, fleet):
+        with pytest.raises(ValidationError):
+            driver.run(fleet, policy="heuristic", threshold=0.0)
+
+    def test_reproducible(self, catalog, runtime_model, fleet):
+        a = FollowCostDriver(catalog, seed=5, runtime_model=runtime_model).run(fleet)
+        b = FollowCostDriver(catalog, seed=5, runtime_model=runtime_model).run(fleet)
+        assert a.total_cost == b.total_cost
+
+
+class TestTypeAdaptation:
+    def test_loose_deadline_enables_demotion(self, catalog, runtime_model, driver):
+        """An I/O-bound Montage fleet on pricey types with huge slack:
+        Deco's runtime type re-optimization must cut cost below static."""
+        dep = make_deployment(
+            catalog, runtime_model, "us-east-1", generator=montage,
+            type_name="m1.xlarge", slack=4.0,
+        )
+        deco = driver.run([dep], policy="deco")
+        static = driver.run([dep], policy="static")
+        assert deco.exec_cost < static.exec_cost * 0.9
+
+    def test_deadline_still_met_after_adaptation(self, catalog, runtime_model, driver):
+        dep = make_deployment(
+            catalog, runtime_model, "us-east-1", generator=montage,
+            type_name="m1.xlarge", slack=4.0,
+        )
+        result = driver.run([dep], policy="deco")
+        assert result.deadlines_met == 1
+
+
+class TestValidation:
+    def test_bad_period_rejected(self, catalog):
+        with pytest.raises(ValidationError):
+            FollowCostDriver(catalog, period=0.0)

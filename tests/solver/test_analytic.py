@@ -1,0 +1,111 @@
+"""Tests for analytic (histogram-propagation) makespan evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SolverError
+from repro.solver.analytic import analytic_deadline_probability, analytic_makespan
+from repro.solver.backends import CompiledProblem, VectorizedBackend
+from repro.workflow.dag import FileSpec, Task, Workflow
+from repro.workflow.generators import pipeline
+
+MB = 1_000_000
+
+
+def chain_workflow(n=3, data_mb=2000.0):
+    return pipeline(n, seed=0, runtime=600.0, data_mb=data_mb)
+
+
+class TestChain:
+    """On a chain the propagation is pure convolution: exact."""
+
+    def test_mean_matches_model(self, catalog, runtime_model):
+        wf = chain_workflow()
+        assignment = {t: "m1.small" for t in wf.task_ids}
+        h = analytic_makespan(wf, assignment, runtime_model)
+        expected = sum(runtime_model.mean(wf.task(t), "m1.small") for t in wf.task_ids)
+        assert h.mean() == pytest.approx(expected, rel=0.02)
+
+    def test_variance_adds_on_chain(self, catalog, runtime_model):
+        wf = chain_workflow()
+        assignment = {t: "m1.small" for t in wf.task_ids}
+        h = analytic_makespan(wf, assignment, runtime_model)
+        per_task = runtime_model.cached_histogram(wf.task(wf.task_ids[0]), "m1.small")
+        # Three similar independent tasks: var roughly 3x one task's var.
+        assert h.variance() == pytest.approx(3 * per_task.variance(), rel=0.35)
+
+
+class TestAgainstMonteCarlo:
+    @pytest.mark.parametrize("type_name", ["m1.small", "m1.large"])
+    def test_pipeline_close_to_mc(self, catalog, runtime_model, type_name):
+        wf = chain_workflow(4)
+        assignment = {t: type_name for t in wf.task_ids}
+        h = analytic_makespan(wf, assignment, runtime_model, max_bins=64)
+        problem = CompiledProblem.compile(
+            wf, catalog, deadline=1e9, num_samples=4000, seed=9,
+            runtime_model=runtime_model,
+        )
+        mk = VectorizedBackend().makespan_samples(
+            problem, [problem.state_from_assignment(assignment)]
+        )[0]
+        assert h.mean() == pytest.approx(mk.mean(), rel=0.03)
+        assert h.percentile(95) == pytest.approx(np.percentile(mk, 95), rel=0.05)
+
+    def test_diamond_tail_conservative(self, catalog, runtime_model, diamond):
+        """At joins the independence approximation biases the tail up
+        (conservative for deadline checks), never badly down."""
+        assignment = {t: "m1.medium" for t in diamond.task_ids}
+        h = analytic_makespan(diamond, assignment, runtime_model, max_bins=64)
+        problem = CompiledProblem.compile(
+            diamond, catalog, deadline=1e9, num_samples=4000, seed=9,
+            runtime_model=runtime_model,
+        )
+        mk = VectorizedBackend().makespan_samples(
+            problem, [problem.state_from_assignment(assignment)]
+        )[0]
+        assert h.percentile(95) >= np.percentile(mk, 95) * 0.97
+        assert h.mean() == pytest.approx(mk.mean(), rel=0.05)
+
+
+class TestDeadlineProbability:
+    def test_loose_deadline_certain(self, runtime_model):
+        wf = chain_workflow()
+        assignment = {t: "m1.small" for t in wf.task_ids}
+        assert analytic_deadline_probability(wf, assignment, runtime_model, 1e9) == 1.0
+
+    def test_impossible_deadline_zero(self, runtime_model):
+        wf = chain_workflow()
+        assignment = {t: "m1.small" for t in wf.task_ids}
+        assert analytic_deadline_probability(wf, assignment, runtime_model, 1.0) == 0.0
+
+    def test_monotone_in_deadline(self, runtime_model):
+        wf = chain_workflow()
+        assignment = {t: "m1.small" for t in wf.task_ids}
+        h = analytic_makespan(wf, assignment, runtime_model)
+        probs = [
+            analytic_deadline_probability(wf, assignment, runtime_model, d)
+            for d in (h.percentile(10), h.percentile(50), h.percentile(90))
+        ]
+        assert probs == sorted(probs)
+
+    def test_invalid_args(self, runtime_model, diamond):
+        assignment = {t: "m1.small" for t in diamond.task_ids}
+        with pytest.raises(SolverError):
+            analytic_deadline_probability(diamond, assignment, runtime_model, 0.0)
+        with pytest.raises(SolverError):
+            analytic_makespan(diamond, assignment, runtime_model, max_bins=2)
+        with pytest.raises(SolverError):
+            analytic_makespan(diamond, {"a": "m1.small"}, runtime_model)
+
+
+class TestDegenerate:
+    def test_empty_workflow(self, runtime_model):
+        wf = Workflow("empty", [])
+        assert analytic_makespan(wf, {}, runtime_model).mean() == 0.0
+
+    def test_cpu_only_tasks_deterministic(self, runtime_model):
+        tasks = [Task(task_id="a", runtime_ref=100.0), Task(task_id="b", runtime_ref=50.0)]
+        wf = Workflow("cpu", tasks, [("a", "b")])
+        h = analytic_makespan(wf, {"a": "m1.small", "b": "m1.small"}, runtime_model)
+        assert h.std() == pytest.approx(0.0)
+        assert h.mean() == pytest.approx(150.0)

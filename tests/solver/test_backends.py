@@ -1,0 +1,134 @@
+"""Tests for the compiled problem and evaluation backends."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SolverError
+from repro.solver.backends import (
+    CompiledProblem,
+    ScalarBackend,
+    VectorizedBackend,
+    get_backend,
+)
+from repro.solver.state import PlanState
+from repro.workflow.critical_path import makespan_samples
+from repro.workflow.generators import montage, random_dag
+
+
+@pytest.fixture(scope="module")
+def problem(catalog, runtime_model):
+    wf = montage(degrees=1, seed=2)
+    return CompiledProblem.compile(
+        wf, catalog, deadline=2000.0, percentile=96.0, num_samples=64,
+        seed=5, runtime_model=runtime_model,
+    )
+
+
+class TestCompile:
+    def test_shapes(self, problem, catalog):
+        k, s, n = problem.tensor.shape
+        assert k == len(catalog)
+        assert s == 64
+        assert n == len(problem.workflow)
+        assert problem.mean_times.shape == (k, n)
+        assert problem.prices.shape == (k,)
+
+    def test_parent_indices_topological(self, problem):
+        for i, parents in enumerate(problem.parent_indices):
+            assert all(p < i for p in parents)
+
+    def test_invalid_deadline_rejected(self, problem, catalog, runtime_model):
+        with pytest.raises(SolverError):
+            CompiledProblem.compile(problem.workflow, catalog, deadline=-1.0)
+
+    def test_invalid_percentile_rejected(self, problem, catalog):
+        with pytest.raises(SolverError):
+            CompiledProblem.compile(problem.workflow, catalog, deadline=10.0, percentile=0.0)
+
+    def test_with_deadline(self, problem):
+        other = problem.with_deadline(999.0, percentile=90.0)
+        assert other.deadline == 999.0
+        assert other.required_probability == pytest.approx(0.9)
+        assert other.tensor is problem.tensor
+
+    def test_expected_cost_eq1(self, problem):
+        assign = np.zeros(problem.num_tasks, dtype=int)
+        idx = np.arange(problem.num_tasks)
+        manual = (problem.mean_times[0, idx] * problem.prices[0]).sum() / 3600.0
+        assert problem.expected_cost(assign) == pytest.approx(manual)
+
+    def test_state_from_assignment(self, problem, catalog):
+        mapping = {tid: "m1.large" for tid in problem.workflow.task_ids}
+        st = problem.state_from_assignment(mapping)
+        assert set(st.assignment.tolist()) == {catalog.index_of("m1.large")}
+
+
+class TestBackends:
+    def test_factory(self):
+        assert get_backend("gpu").name == "gpu"
+        assert get_backend("cpu").name == "cpu"
+        with pytest.raises(SolverError):
+            get_backend("tpu")
+
+    def test_vectorized_matches_scalar_exactly(self, problem):
+        states = [PlanState.uniform(problem.num_tasks, t) for t in range(problem.num_types)]
+        gpu = VectorizedBackend().makespan_samples(problem, states)
+        cpu = ScalarBackend().makespan_samples(problem, states)
+        np.testing.assert_allclose(gpu, cpu, rtol=1e-12)
+
+    def test_vectorized_matches_reference_makespan(self, problem):
+        state = PlanState.uniform(problem.num_tasks, 1)
+        mk = VectorizedBackend().makespan_samples(problem, [state])[0]
+        n = problem.num_tasks
+        times = problem.tensor[state.assignment, :, np.arange(n)].T  # (S, N)
+        expected = makespan_samples(problem.workflow, times)
+        np.testing.assert_allclose(mk, expected)
+
+    def test_mixed_assignment_gathers_correctly(self, problem):
+        rng = np.random.default_rng(0)
+        assign = rng.integers(0, problem.num_types, size=problem.num_tasks)
+        state = PlanState(assign)
+        gpu = VectorizedBackend().makespan_samples(problem, [state])
+        cpu = ScalarBackend().makespan_samples(problem, [state])
+        np.testing.assert_allclose(gpu, cpu)
+
+    def test_evaluate_fields(self, problem):
+        ev = VectorizedBackend().evaluate(problem, PlanState.uniform(problem.num_tasks, 3))
+        assert 0.0 <= ev.probability <= 1.0
+        assert ev.cost > 0
+        assert ev.mean_makespan > 0
+        assert ev.feasible == (ev.probability >= problem.required_probability - 1e-12)
+
+    def test_faster_types_higher_probability(self, problem):
+        backend = VectorizedBackend()
+        evs = [
+            backend.evaluate(problem, PlanState.uniform(problem.num_tasks, t))
+            for t in range(problem.num_types)
+        ]
+        assert evs[0].probability <= evs[-1].probability
+
+    def test_empty_batch(self, problem):
+        assert VectorizedBackend().evaluate_batch(problem, []) == []
+
+    def test_wrong_state_length_rejected(self, problem):
+        with pytest.raises(SolverError):
+            VectorizedBackend().evaluate(problem, PlanState.uniform(3, 0))
+
+    def test_out_of_range_type_rejected(self, problem):
+        state = PlanState.uniform(problem.num_tasks, problem.num_types + 3)
+        with pytest.raises(SolverError):
+            VectorizedBackend().evaluate(problem, state)
+
+    def test_agreement_on_random_dags(self, catalog, runtime_model):
+        for seed in range(3):
+            wf = random_dag(10, edge_prob=0.3, seed=seed)
+            prob = CompiledProblem.compile(
+                wf, catalog, deadline=500.0, num_samples=16, seed=seed,
+                runtime_model=runtime_model,
+            )
+            rng = np.random.default_rng(seed)
+            states = [PlanState(rng.integers(0, 4, size=10)) for _ in range(4)]
+            np.testing.assert_allclose(
+                VectorizedBackend().makespan_samples(prob, states),
+                ScalarBackend().makespan_samples(prob, states),
+            )

@@ -1,0 +1,95 @@
+"""Cross-check: the compiled array evaluation vs the WLog interpreter.
+
+The vectorized backend claims to compute exactly what Algorithm 1
+computes over the probabilistic IR of Example 1.  These tests pin that
+equivalence on a small pipeline workflow:
+
+* **goal values**: the compiled Eq.-1 cost must match the interpreter's
+  deterministic-mode ``totalcost`` query (same histogram means);
+* **constraint probabilities**: the compiled Monte Carlo estimate of
+  P(makespan <= D) must agree with the interpreter's estimate within
+  Monte Carlo error.
+"""
+
+import numpy as np
+import pytest
+
+from repro.engine.compiler import try_compile
+from repro.solver.backends import VectorizedBackend
+from repro.wlog.imports import ImportRegistry, vm_atom
+from repro.wlog.library import scheduling_program
+from repro.wlog.probir import translate
+from repro.wlog.program import WLogProgram
+from repro.wlog.terms import Atom, Num, Rule, Struct
+from repro.workflow.generators import pipeline
+from repro.workflow.runtime_model import RuntimeModel
+
+
+@pytest.fixture(scope="module")
+def env(catalog):
+    wf = pipeline(num_tasks=4, runtime=600.0, data_mb=2000.0, seed=3)
+    reg = ImportRegistry()
+    reg.register_cloud("amazonec2", catalog)
+    reg.register_workflow("montage", wf)
+    return wf, reg
+
+
+def configs_rules(wf, type_name):
+    return tuple(
+        Rule(Struct("configs", (Atom(tid), vm_atom(type_name), Num(1.0))))
+        for tid in wf.task_ids
+    )
+
+
+@pytest.mark.parametrize("type_name", ["m1.small", "m1.medium", "m1.xlarge"])
+def test_goal_values_agree(env, type_name, catalog):
+    wf, reg = env
+    src = scheduling_program(percentile=90, deadline_seconds=1e9)
+    program = WLogProgram.from_source(src)
+    ir = translate(program, reg, deterministic=True)
+    interp = ir.evaluate(configs_rules(wf, type_name), max_iter=1)
+
+    problem = try_compile(translate(program, reg), num_samples=16, seed=0)
+    assert problem is not None
+    ev = VectorizedBackend().evaluate(
+        problem, problem.state_from_assignment({t: type_name for t in wf.task_ids})
+    )
+    # Interpreter uses histogram means; compiled path uses analytic means.
+    assert ev.cost == pytest.approx(interp.goal_value, rel=0.05)
+
+
+def test_constraint_probability_agrees(env):
+    wf, reg = env
+    model = RuntimeModel(reg.materialize(("amazonec2",)).catalog)  # just for means
+    serial = sum(model.mean(wf.task(t), "m1.medium") for t in wf.task_ids)
+    src = scheduling_program(percentile=96, deadline_seconds=serial)
+    program = WLogProgram.from_source(src)
+
+    interp = translate(program, reg).evaluate(
+        configs_rules(wf, "m1.medium"), max_iter=300, seed=11
+    )
+    problem = try_compile(translate(program, reg), num_samples=3000, seed=12)
+    ev = VectorizedBackend().evaluate(
+        problem, problem.state_from_assignment({t: "m1.medium" for t in wf.task_ids})
+    )
+    # A mean-centered deadline on a near-symmetric sum: both estimators
+    # must land near 0.5, well within joint Monte Carlo error.
+    assert ev.probability == pytest.approx(interp.constraint_probabilities[0], abs=0.1)
+
+
+def test_feasibility_decisions_agree_on_clear_cases(env):
+    wf, reg = env
+    model = RuntimeModel(reg.materialize(("amazonec2",)).catalog)
+    serial = sum(model.mean(wf.task(t), "m1.small") for t in wf.task_ids)
+    for factor, expect in ((2.0, True), (0.5, False)):
+        src = scheduling_program(percentile=96, deadline_seconds=serial * factor)
+        program = WLogProgram.from_source(src)
+        interp = translate(program, reg).evaluate(
+            configs_rules(wf, "m1.small"), max_iter=60, seed=4
+        )
+        problem = try_compile(translate(program, reg), num_samples=200, seed=4)
+        ev = VectorizedBackend().evaluate(
+            problem, problem.state_from_assignment({t: "m1.small" for t in wf.task_ids})
+        )
+        assert interp.feasible is expect
+        assert ev.feasible is expect

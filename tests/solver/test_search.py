@@ -1,0 +1,141 @@
+"""Tests for the generic (Algorithm 2) and A* searches."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SolverError
+from repro.solver.backends import CompiledProblem, VectorizedBackend
+from repro.solver.search import AStarSearch, GenericSearch
+from repro.solver.state import PlanState
+from repro.workflow.generators import montage, pipeline
+
+
+@pytest.fixture(scope="module")
+def problem(catalog, runtime_model):
+    wf = montage(degrees=1, seed=2)
+    from repro.engine.plan import deadline_presets
+
+    d = deadline_presets(wf, catalog, runtime_model).medium
+    return CompiledProblem.compile(
+        wf, catalog, deadline=d, percentile=96.0, num_samples=100,
+        seed=5, runtime_model=runtime_model,
+    )
+
+
+class TestGenericSearch:
+    def test_finds_feasible_solution(self, problem):
+        result = GenericSearch(max_evaluations=1200).solve(problem)
+        assert result.feasible_found
+        assert result.best_eval.probability >= problem.required_probability - 1e-9
+
+    def test_beats_or_matches_uniform_feasible_states(self, problem):
+        result = GenericSearch(max_evaluations=1200).solve(problem)
+        backend = VectorizedBackend()
+        for t in range(problem.num_types):
+            ev = backend.evaluate(problem, PlanState.uniform(problem.num_tasks, t))
+            if ev.feasible:
+                assert result.best_eval.cost <= ev.cost + 1e-12
+
+    def test_respects_evaluation_budget(self, problem):
+        result = GenericSearch(max_evaluations=50).solve(problem)
+        assert result.evaluations <= 50 + problem.num_types + 8  # seeds evaluated up front
+
+    def test_seeds_are_used(self, problem):
+        seed_state = PlanState.uniform(problem.num_tasks, problem.num_types - 1)
+        result = GenericSearch(max_evaluations=20).solve(problem, seeds=[seed_state])
+        # The all-fastest seed is feasible, so the best must be at least that good.
+        backend = VectorizedBackend()
+        ev = backend.evaluate(problem, seed_state)
+        assert result.best_eval.cost <= ev.cost + 1e-12
+
+    def test_wrong_seed_length_rejected(self, problem):
+        with pytest.raises(SolverError):
+            GenericSearch().solve(problem, seeds=[PlanState.uniform(2, 0)])
+
+    def test_trace_monotone(self, problem):
+        result = GenericSearch(max_evaluations=800).solve(problem)
+        costs = [c for _, c in result.trace]
+        assert all(b <= a + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(SolverError):
+            GenericSearch(beam_width=0)
+        with pytest.raises(SolverError):
+            GenericSearch(max_evaluations=0)
+
+    def test_impossible_deadline_reports_infeasible(self, catalog, runtime_model):
+        wf = pipeline(3, seed=0, runtime=600.0)
+        prob = CompiledProblem.compile(
+            wf, catalog, deadline=1.0, percentile=99.0, num_samples=32,
+            runtime_model=runtime_model,
+        )
+        result = GenericSearch(max_evaluations=300).solve(prob)
+        assert not result.feasible_found
+
+    def test_assignment_names(self, problem, catalog):
+        result = GenericSearch(max_evaluations=300).solve(problem)
+        names = result.assignment_names(problem)
+        assert set(names) == set(problem.workflow.task_ids)
+        assert set(names.values()) <= set(catalog.type_names)
+
+
+class TestAStar:
+    def test_finds_shortest_path_on_grid(self):
+        """Classic sanity check: A* on a line graph."""
+        goal = 7
+
+        def neighbors(x):
+            return [x + 1, x + 2]
+
+        result = AStarSearch().solve(
+            initial=0,
+            neighbors=neighbors,
+            g_score=lambda x: float(x != 0),  # not used meaningfully here
+            h_score=lambda x: float(goal - x),
+            is_goal=lambda x: x >= goal,
+        )
+        assert result.found_goal
+        assert result.best_state >= goal
+
+    def test_admissible_heuristic_optimal_knapsack(self):
+        """Subset selection: A* must find the optimal admitted subset."""
+        costs = {0: 5.0, 1: 4.0, 2: 3.0}
+        scores = {0: 1.0, 1: 0.5, 2: 0.25}
+        budget = 7.5
+        candidates = sorted(costs)
+
+        def addable(state):
+            rem = budget - sum(costs[p] for p in state)
+            start = max(state) + 1 if state else 0
+            return [p for p in candidates if p >= start and costs[p] <= rem]
+
+        result = AStarSearch().solve(
+            initial=frozenset(),
+            neighbors=lambda s: [frozenset(s | {p}) for p in addable(s)],
+            g_score=lambda s: -sum(scores[p] for p in s),
+            h_score=lambda s: -sum(
+                scores[p]
+                for p in candidates
+                if (not s or p > max(s)) and costs[p] <= budget - sum(costs[q] for q in s)
+            ),
+            is_goal=lambda s: not addable(s),
+        )
+        # Best subset within 7.5: {0} (score 1.0) vs {1, 2} (0.75) -> {0}... but
+        # {0} leaves 2.5 >= cost of nothing else? cost 3 > 2.5, so {0} is terminal.
+        assert result.found_goal
+        assert result.best_state == frozenset({0})
+
+    def test_expansion_cap(self):
+        result = AStarSearch(max_expansions=3).solve(
+            initial=0,
+            neighbors=lambda x: [x + 1],
+            g_score=lambda x: 0.0,
+            h_score=lambda x: 0.0,
+            is_goal=lambda x: False,
+        )
+        assert not result.found_goal
+        assert result.expanded == 3
+
+    def test_invalid_max_expansions(self):
+        with pytest.raises(SolverError):
+            AStarSearch(max_expansions=0)

@@ -1,0 +1,81 @@
+"""Tests for the plan-state model."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SolverError
+from repro.solver.state import PlanState, StateEval
+
+
+class TestPlanState:
+    def test_uniform(self):
+        s = PlanState.uniform(5, 2)
+        assert len(s) == 5
+        assert set(s.assignment.tolist()) == {2}
+
+    def test_immutability(self):
+        s = PlanState.uniform(3)
+        with pytest.raises(ValueError):
+            s.assignment[0] = 1
+
+    def test_equality_by_content(self):
+        a = PlanState(np.array([0, 1, 2]))
+        b = PlanState(np.array([0, 1, 2]))
+        assert a == b and hash(a) == hash(b)
+        assert a != PlanState(np.array([0, 1, 3]))
+
+    def test_with_type_copies(self):
+        a = PlanState.uniform(3)
+        b = a.with_type(1, 2)
+        assert a.assignment[1] == 0
+        assert b.assignment[1] == 2
+
+    def test_promote_demote(self):
+        s = PlanState.uniform(2, 0)
+        up = s.promote(0, num_types=4)
+        assert up.assignment[0] == 1
+        assert up.demote(0) == s
+
+    def test_promote_saturates(self):
+        s = PlanState.uniform(2, 3)
+        assert s.promote(0, num_types=4) is None
+
+    def test_demote_saturates(self):
+        assert PlanState.uniform(2, 0).demote(0) is None
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(SolverError):
+            PlanState(np.array([-1, 0]))
+
+    def test_2d_rejected(self):
+        with pytest.raises(SolverError):
+            PlanState(np.zeros((2, 2)))
+
+
+class TestStateEval:
+    def _ev(self, cost, prob, feasible):
+        return StateEval(cost=cost, probability=prob, feasible=feasible, mean_makespan=1.0)
+
+    def test_feasible_beats_infeasible(self):
+        good = self._ev(100.0, 0.99, True)
+        bad = self._ev(1.0, 0.5, False)
+        assert good.better_than(bad)
+        assert not bad.better_than(good)
+
+    def test_among_feasible_cheaper_wins(self):
+        a = self._ev(1.0, 0.97, True)
+        b = self._ev(2.0, 0.99, True)
+        assert a.better_than(b)
+
+    def test_among_infeasible_higher_probability_wins(self):
+        a = self._ev(5.0, 0.9, False)
+        b = self._ev(1.0, 0.5, False)
+        assert a.better_than(b)
+
+    def test_maximize_mode(self):
+        a = self._ev(2.0, 1.0, True)
+        b = self._ev(1.0, 1.0, True)
+        assert a.better_than(b, mode="maximize")
+
+    def test_anything_beats_none(self):
+        assert self._ev(1.0, 0.0, False).better_than(None)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestList:
+    def test_lists_all_experiments(self):
+        code, text = run_cli(["list"])
+        assert code == 0
+        for key in EXPERIMENTS:
+            assert key in text
+
+
+class TestRun:
+    def test_fig01(self):
+        code, text = run_cli(
+            ["run", "fig01", "--seed", "7", "--samples", "40", "--evals", "150", "--runs", "2"]
+        )
+        assert code == 0
+        assert "Figure 1" in text
+        assert "deco" in text
+
+    def test_table2(self):
+        code, text = run_cli(["run", "table2", "--samples", "40"])
+        assert code == 0
+        assert "gamma" in text and "normal" in text
+
+    def test_speedup(self):
+        code, text = run_cli(["run", "speedup", "--samples", "20", "--evals", "50"])
+        assert code == 0
+        assert "speedup" in text
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(["run", "fig99"])
+
+
+class TestSchedule:
+    def test_montage_schedule(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--samples", "40", "--evals", "150"]
+        )
+        assert code == 0
+        assert "feasible:        True" in text
+        assert "instance mix" in text
+
+    def test_numeric_deadline(self):
+        code, text = run_cli(
+            ["schedule", "--app", "ligo", "--tasks", "30", "--deadline", "100000",
+             "--samples", "40", "--evals", "100"]
+        )
+        assert code == 0
+
+    def test_infeasible_exit_code(self):
+        code, text = run_cli(
+            ["schedule", "--app", "ligo", "--tasks", "30", "--deadline", "1",
+             "--samples", "30", "--evals", "60"]
+        )
+        assert code == 1
+        assert "feasible:        False" in text
+
+    def test_execute_flag(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1", "--execute",
+             "--samples", "40", "--evals", "150"]
+        )
+        assert code == 0
+        assert "measured (10 runs)" in text
+
+
+class TestCalibrate:
+    def test_calibrate(self):
+        code, text = run_cli(["calibrate"])
+        assert code == 0
+        assert "m1.xlarge" in text

@@ -1,0 +1,165 @@
+"""Tests for the WLog parser."""
+
+import pytest
+
+from repro.common.errors import WLogSyntaxError
+from repro.wlog.parser import parse_program, parse_query, parse_term
+from repro.wlog.program import ConsSpec, GoalSpec, VarSpec
+from repro.wlog.terms import Atom, Num, Struct, Var
+
+
+class TestTerms:
+    def test_compound(self):
+        t = parse_term("cost(Tid, Vid, C)")
+        assert isinstance(t, Struct)
+        assert t.indicator == ("cost", 3)
+        assert t.args[0] == Var("Tid")
+
+    def test_nested(self):
+        t = parse_term("f(g(X), 3)")
+        assert t.args[0].indicator == ("g", 1)
+
+    def test_arithmetic_precedence(self):
+        t = parse_term("C is T * Up + B")
+        assert t.functor == "is"
+        rhs = t.args[1]
+        assert rhs.functor == "+"
+        assert rhs.args[0].functor == "*"
+
+    def test_division(self):
+        t = parse_term("C is T * Up / 3600")
+        rhs = t.args[1]
+        assert rhs.functor == "/"
+
+    def test_parenthesized_arithmetic(self):
+        t = parse_term("C is (A + B) * 2")
+        assert t.args[1].functor == "*"
+        assert t.args[1].args[0].functor == "+"
+
+    def test_negative_number(self):
+        assert parse_term("-4") == Num(-4.0)
+
+    def test_unary_minus_on_var(self):
+        t = parse_term("0 - X")
+        assert t.functor == "-"
+
+    def test_lists(self):
+        t = parse_term("[Z, T1]")
+        assert repr(t) == "[Z, T1]"
+
+    def test_list_with_tail(self):
+        t = parse_term("[H|T]")
+        assert t.functor == "."
+        assert t.args[1] == Var("T")
+
+    def test_comparisons(self):
+        assert parse_term("Con == 1").functor == "=="
+        assert parse_term("Z \\== Y").functor == "\\=="
+        assert parse_term("A =< B").functor == "=<"
+
+    def test_negation(self):
+        t = parse_term("\\+ bad(X)")
+        assert t.functor == "\\+"
+
+    def test_cut(self):
+        assert parse_term("!") == Atom("!")
+
+    def test_anonymous_vars_distinct(self):
+        t = parse_query("f(_, _)")[0]
+        assert t.args[0] != t.args[1]
+
+    def test_parenthesized_conjunction(self):
+        t = parse_term("(a(X), b(X), c(X))")
+        assert t.functor == ","
+        assert t.args[1].functor == ","
+
+    def test_trailing_junk_rejected(self):
+        with pytest.raises(WLogSyntaxError):
+            parse_term("f(X) g")
+
+
+class TestRules:
+    def test_fact(self):
+        p = parse_program("edge(a, b).")
+        assert len(p.rules) == 1
+        assert p.rules[0].is_fact
+
+    def test_rule_with_body(self):
+        p = parse_program("anc(X, Y) :- parent(X, Z), anc(Z, Y).")
+        assert len(p.rules[0].body) == 2
+
+    def test_paper_cost_rule(self):
+        src = (
+            "cost(Tid,Vid,C) :- price(Vid,Up), exetime(Tid,Vid,T), "
+            "configs(Tid,Vid,Con), C is T*Up*Con."
+        )
+        rule = parse_program(src).rules[0]
+        assert rule.indicator == ("cost", 3)
+        assert rule.body[-1].functor == "is"
+
+    def test_missing_period_rejected(self):
+        with pytest.raises(WLogSyntaxError):
+            parse_program("f(a)")
+
+
+class TestDirectives:
+    def test_import(self):
+        p = parse_program("import(amazonec2).")
+        assert p.directives[0].kind == "import"
+        assert p.directives[0].payload == "amazonec2"
+
+    def test_enabled(self):
+        p = parse_program("enabled(astar).")
+        assert p.directives[0].payload == "astar"
+
+    def test_goal_minimize(self):
+        p = parse_program("goal minimize Ct in totalcost(Ct).")
+        spec = p.directives[0].payload
+        assert isinstance(spec, GoalSpec)
+        assert spec.mode == "minimize"
+        assert spec.objective == Var("Ct")
+        assert spec.predicate.indicator == ("totalcost", 1)
+
+    def test_goal_maximize(self):
+        p = parse_program("goal maximize S in score(S).")
+        assert p.directives[0].payload.mode == "maximize"
+
+    def test_goal_requires_mode(self):
+        with pytest.raises(WLogSyntaxError):
+            parse_program("goal Ct in totalcost(Ct).")
+
+    def test_cons_with_requirement(self):
+        p = parse_program("cons T in maxtime(Path, T) satisfies deadline(95%, 10h).")
+        spec = p.directives[0].payload
+        assert isinstance(spec, ConsSpec)
+        assert spec.variable == Var("T")
+        assert spec.requirement_kind() == "deadline"
+        assert spec.requirement.args == (Num(95.0), Num(36000.0))
+
+    def test_cons_boolean(self):
+        p = parse_program("cons admissible.")
+        spec = p.directives[0].payload
+        assert spec.variable is None
+        assert spec.requirement is None
+
+    def test_var_directive(self):
+        p = parse_program("var configs(Tid,Vid,Con) forall task(Tid) and vm(Vid).")
+        spec = p.directives[0].payload
+        assert isinstance(spec, VarSpec)
+        assert spec.declaration.indicator == ("configs", 3)
+        assert len(spec.domains) == 2
+
+    def test_var_as_predicate_name_still_works(self):
+        # A predicate literally called var/1 must not trigger the directive.
+        p = parse_program("var(x).")
+        assert len(p.rules) == 1
+        assert not p.directives
+
+
+class TestQueries:
+    def test_conjunction(self):
+        goals = parse_query("f(X), g(X), h(X)")
+        assert len(goals) == 3
+
+    def test_single(self):
+        assert len(parse_query("f(X)")) == 1

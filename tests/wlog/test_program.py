@@ -1,0 +1,79 @@
+"""Tests for WLogProgram classification and validation."""
+
+import pytest
+
+from repro.common.errors import WLogError
+from repro.wlog.library import ensemble_program, followcost_program, scheduling_program
+from repro.wlog.program import WLogProgram
+
+
+class TestExample1:
+    def test_classification(self):
+        prog = WLogProgram.from_source(scheduling_program(percentile=95, deadline_seconds=36000))
+        assert prog.imports == ("amazonec2", "montage")
+        assert prog.goal is not None and prog.goal.mode == "minimize"
+        assert len(prog.constraints) == 1
+        assert prog.constraints[0].requirement_kind() == "deadline"
+        assert prog.var_spec is not None
+        assert prog.var_spec.declaration.indicator == ("configs", 3)
+        assert len(prog.var_spec.domains) == 2
+
+    def test_rules_present(self):
+        prog = WLogProgram.from_source(scheduling_program())
+        indicators = {r.indicator for r in prog.rules}
+        assert ("path", 4) in indicators
+        assert ("maxtime", 2) in indicators
+        assert ("cost", 3) in indicators
+        assert ("totalcost", 1) in indicators
+
+    def test_validate_for_solving(self):
+        WLogProgram.from_source(scheduling_program()).validate_for_solving()
+
+    def test_astar_variant(self):
+        prog = WLogProgram.from_source(scheduling_program(astar=True))
+        assert prog.astar_enabled
+        assert prog.has_g_score and prog.has_h_score
+        prog.validate_for_solving()
+
+    def test_astar_without_scores_rejected(self):
+        src = scheduling_program() + "\nenabled(astar).\n"
+        prog = WLogProgram.from_source(src)
+        with pytest.raises(WLogError):
+            prog.validate_for_solving()
+
+
+class TestOtherUseCases:
+    def test_ensemble_program(self):
+        prog = WLogProgram.from_source(ensemble_program(budget=10.0))
+        assert prog.goal.mode == "maximize"
+        kinds = [c.requirement_kind() for c in prog.constraints]
+        assert "budget" in kinds
+        assert None in kinds  # the boolean 'admissible' constraint
+        assert prog.astar_enabled
+
+    def test_followcost_program(self):
+        prog = WLogProgram.from_source(followcost_program(deadline_seconds=3600.0))
+        assert prog.goal.mode == "minimize"
+        assert prog.var_spec.declaration.indicator == ("wregion", 3)
+
+
+class TestValidation:
+    def test_two_goals_rejected(self):
+        src = "goal minimize A in f(A).\ngoal minimize B in g(B).\n"
+        with pytest.raises(WLogError):
+            WLogProgram.from_source(src)
+
+    def test_two_var_specs_rejected(self):
+        src = "var x(A) forall t(A).\nvar y(B) forall t(B).\n"
+        with pytest.raises(WLogError):
+            WLogProgram.from_source(src)
+
+    def test_no_goal_rejected_for_solving(self):
+        prog = WLogProgram.from_source("f(a).")
+        with pytest.raises(WLogError):
+            prog.validate_for_solving()
+
+    def test_no_vars_rejected_for_solving(self):
+        prog = WLogProgram.from_source("goal minimize A in f(A).")
+        with pytest.raises(WLogError):
+            prog.validate_for_solving()

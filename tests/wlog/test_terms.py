@@ -1,0 +1,104 @@
+"""Tests for the WLog term model."""
+
+import pytest
+
+from repro.common.errors import WLogRuntimeError
+from repro.wlog.terms import (
+    NIL,
+    Atom,
+    Num,
+    Rule,
+    Struct,
+    Var,
+    from_python,
+    is_list,
+    list_items,
+    make_list,
+    to_python,
+)
+
+
+class TestTerms:
+    def test_struct_equality_and_hash(self):
+        a = Struct("f", (Atom("x"), Num(1.0)))
+        b = Struct("f", (Atom("x"), Num(1.0)))
+        assert a == b and hash(a) == hash(b)
+
+    def test_struct_inequality(self):
+        assert Struct("f", (Atom("x"),)) != Struct("g", (Atom("x"),))
+
+    def test_zero_arity_struct_rejected(self):
+        with pytest.raises(WLogRuntimeError):
+            Struct("f", ())
+
+    def test_indicator(self):
+        assert Struct("f", (Atom("a"), Atom("b"))).indicator == ("f", 2)
+
+    def test_repr_list_form(self):
+        lst = make_list([Num(1.0), Num(2.0)])
+        assert repr(lst) == "[1, 2]"
+
+    def test_repr_improper_list(self):
+        lst = make_list([Num(1.0)], tail=Var("T"))
+        assert repr(lst) == "[1|T]"
+
+    def test_num_repr_integral(self):
+        assert repr(Num(3.0)) == "3"
+        assert repr(Num(3.5)) == "3.5"
+
+
+class TestRules:
+    def test_fact(self):
+        r = Rule(Struct("f", (Atom("a"),)))
+        assert r.is_fact
+        assert r.indicator == ("f", 1)
+
+    def test_atom_head(self):
+        assert Rule(Atom("go")).indicator == ("go", 0)
+
+    def test_invalid_head_rejected(self):
+        with pytest.raises(WLogRuntimeError):
+            Rule(Num(1.0))
+        with pytest.raises(WLogRuntimeError):
+            Rule(Var("X"))
+
+
+class TestLists:
+    def test_roundtrip(self):
+        items = [Num(1.0), Atom("x"), Num(3.0)]
+        assert list_items(make_list(items)) == items
+
+    def test_nil_is_empty(self):
+        assert list_items(NIL) == []
+        assert is_list(NIL)
+
+    def test_improper_list_detected(self):
+        improper = make_list([Num(1.0)], tail=Var("T"))
+        assert not is_list(improper)
+        with pytest.raises(WLogRuntimeError):
+            list_items(improper)
+
+
+class TestPythonBridge:
+    @pytest.mark.parametrize(
+        "value",
+        [1, 2.5, "atom", True, False, [1, 2, 3], ["a", [1.0]]],
+    )
+    def test_roundtrip(self, value):
+        assert to_python(from_python(value)) == value
+
+    def test_int_preserved(self):
+        assert to_python(from_python(7)) == 7
+        assert isinstance(to_python(from_python(7)), int)
+
+    def test_unliftable_rejected(self):
+        with pytest.raises(WLogRuntimeError):
+            from_python(object())
+
+    def test_unbound_var_not_lowerable(self):
+        with pytest.raises(WLogRuntimeError):
+            to_python(Var("X"))
+
+    def test_struct_lowered_to_tuple(self):
+        s = Struct("f", (Num(1.0), Atom("x")))
+        assert to_python(s) == ("f", 1, "x")

@@ -1,0 +1,86 @@
+"""Tests for unification and the binding trail."""
+
+from repro.wlog.terms import Atom, Num, Struct, Var
+from repro.wlog.unify import Bindings, resolve, unify
+
+
+class TestUnify:
+    def test_atoms(self):
+        b = Bindings()
+        assert unify(Atom("a"), Atom("a"), b)
+        assert not unify(Atom("a"), Atom("b"), b)
+
+    def test_numbers(self):
+        b = Bindings()
+        assert unify(Num(1.0), Num(1.0), b)
+        assert not unify(Num(1.0), Num(2.0), b)
+
+    def test_var_binds_to_atom(self):
+        b = Bindings()
+        x = Var("X")
+        assert unify(x, Atom("a"), b)
+        assert b.walk(x) == Atom("a")
+
+    def test_var_to_var_aliasing(self):
+        b = Bindings()
+        x, y = Var("X"), Var("Y")
+        assert unify(x, y, b)
+        assert unify(y, Atom("a"), b)
+        assert b.walk(x) == Atom("a")
+
+    def test_structs_recursive(self):
+        b = Bindings()
+        lhs = Struct("f", (Var("X"), Atom("b")))
+        rhs = Struct("f", (Atom("a"), Var("Y")))
+        assert unify(lhs, rhs, b)
+        assert b.walk(Var("X")) == Atom("a")
+        assert b.walk(Var("Y")) == Atom("b")
+
+    def test_functor_mismatch(self):
+        b = Bindings()
+        assert not unify(Struct("f", (Atom("a"),)), Struct("g", (Atom("a"),)), b)
+
+    def test_arity_mismatch(self):
+        b = Bindings()
+        assert not unify(Struct("f", (Atom("a"),)), Struct("f", (Atom("a"), Atom("b"))), b)
+
+    def test_repeated_variable_consistency(self):
+        b = Bindings()
+        lhs = Struct("f", (Var("X"), Var("X")))
+        assert not unify(lhs, Struct("f", (Atom("a"), Atom("b"))), b)
+        assert unify(lhs, Struct("f", (Atom("c"), Atom("c"))), Bindings())
+
+
+class TestTrail:
+    def test_failed_unify_restores_bindings(self):
+        b = Bindings()
+        x = Var("X")
+        # Partial match binds X before the mismatch is found.
+        lhs = Struct("f", (x, Atom("b")))
+        rhs = Struct("f", (Atom("a"), Atom("c")))
+        assert not unify(lhs, rhs, b)
+        assert b.walk(x) is x  # unbound again
+        assert len(b) == 0
+
+    def test_mark_undo(self):
+        b = Bindings()
+        unify(Var("X"), Atom("a"), b)
+        mark = b.mark()
+        unify(Var("Y"), Atom("b"), b)
+        b.undo(mark)
+        assert b.walk(Var("Y")) == Var("Y")
+        assert b.walk(Var("X")) == Atom("a")
+
+
+class TestResolve:
+    def test_deep_substitution(self):
+        b = Bindings()
+        unify(Var("X"), Atom("a"), b)
+        term = Struct("f", (Struct("g", (Var("X"),)), Var("Y")))
+        resolved = resolve(term, b)
+        assert resolved == Struct("f", (Struct("g", (Atom("a"),)), Var("Y")))
+
+    def test_resolve_shares_unchanged_terms(self):
+        b = Bindings()
+        term = Struct("f", (Atom("a"),))
+        assert resolve(term, b) is term

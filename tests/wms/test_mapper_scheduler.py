@@ -1,0 +1,78 @@
+"""Tests for the mapper and scheduler callouts."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.engine.deco import Deco
+from repro.wms.mapper import Mapper
+from repro.wms.scheduler import (
+    AutoscalingScheduler,
+    DecoScheduler,
+    FixedPlanScheduler,
+    RandomScheduler,
+)
+from repro.workflow.generators import montage, pipeline
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return montage(degrees=1, seed=4)
+
+
+class TestMapper:
+    def test_resolves_from_catalog(self):
+        mapper = Mapper({"mProjectPP": "/opt/montage/bin/mProjectPP"})
+        wf = montage(degrees=1, seed=0)
+        executable = mapper.plan(wf)
+        proj = next(j for j in executable.jobs.values() if j.task.executable == "mProjectPP")
+        assert proj.executable_path == "/opt/montage/bin/mProjectPP"
+
+    def test_default_prefix_fallback(self):
+        executable = Mapper().plan(pipeline(2, seed=0))
+        assert all(
+            j.executable_path.startswith("/usr/local/bin/") for j in executable.jobs.values()
+        )
+
+    def test_unscheduled_assignment_rejected(self, wf):
+        executable = Mapper().plan(wf)
+        assert not executable.is_scheduled
+        with pytest.raises(ValidationError):
+            executable.assignment()
+
+    def test_with_assignment_binds_sites(self, wf, catalog):
+        executable = Mapper().plan(wf)
+        bound = executable.with_assignment({t: "m1.small" for t in wf.task_ids})
+        assert bound.is_scheduled
+        assert set(bound.assignment().values()) == {"m1.small"}
+
+    def test_partial_assignment_rejected(self, wf):
+        executable = Mapper().plan(wf)
+        with pytest.raises(ValidationError):
+            executable.with_assignment({wf.task_ids[0]: "m1.small"})
+
+
+class TestSchedulers:
+    def test_random(self, wf, catalog):
+        scheduled = RandomScheduler(catalog, seed=2).schedule(Mapper().plan(wf))
+        assert scheduled.is_scheduled
+
+    def test_fixed(self, wf):
+        plan = {t: "m1.medium" for t in wf.task_ids}
+        scheduled = FixedPlanScheduler(plan).schedule(Mapper().plan(wf))
+        assert scheduled.assignment() == plan
+
+    def test_fixed_empty_rejected(self):
+        with pytest.raises(ValidationError):
+            FixedPlanScheduler({})
+
+    def test_autoscaling(self, wf, catalog, runtime_model):
+        sched = AutoscalingScheduler(catalog, deadline=3600.0, runtime_model=runtime_model)
+        assert sched.schedule(Mapper().plan(wf)).is_scheduled
+
+    def test_deco_scheduler_records_plan(self, wf, catalog):
+        deco = Deco(catalog, seed=1, num_samples=50, max_evaluations=200)
+        sched = DecoScheduler(deco, deadline="medium")
+        scheduled = sched.schedule(Mapper().plan(wf))
+        assert scheduled.is_scheduled
+        assert sched.last_plan is not None
+        assert scheduled.assignment() == dict(sched.last_plan.assignment)

@@ -1,0 +1,58 @@
+"""Tests for the WMS facade (Fig. 3's submit -> plan -> schedule -> execute)."""
+
+import pytest
+
+from repro.engine.deco import Deco
+from repro.wms.pegasus import PegasusLite
+from repro.wms.scheduler import DecoScheduler, FixedPlanScheduler, RandomScheduler
+from repro.workflow.dax import write_dax
+from repro.workflow.generators import montage
+
+
+@pytest.fixture(scope="module")
+def wf():
+    return montage(degrees=1, seed=6)
+
+
+class TestSubmit:
+    def test_random_scheduler_end_to_end(self, wf, catalog):
+        wms = PegasusLite(catalog, RandomScheduler(catalog, seed=1))
+        result = wms.submit(wf)
+        assert result.makespan > 0
+        assert result.cost > 0
+        assert len(result.events) >= 3 * len(wf)  # idle+running+done per task
+
+    def test_dax_file_submission(self, wf, catalog, tmp_path):
+        path = tmp_path / "montage.dax"
+        write_dax(wf, path)
+        wms = PegasusLite(catalog, FixedPlanScheduler({t: "m1.small" for t in wf.task_ids}))
+        result = wms.submit(path)
+        assert result.execution.workflow_name == wf.name
+
+    def test_deco_scheduler_integration(self, wf, catalog):
+        deco = Deco(catalog, seed=1, num_samples=50, max_evaluations=300)
+        wms = PegasusLite(catalog, DecoScheduler(deco, deadline="medium"))
+        result = wms.submit(wf)
+        assert result.assignment() == dict(wms.scheduler.last_plan.assignment)
+
+    def test_event_log_consistent_with_execution(self, wf, catalog):
+        wms = PegasusLite(catalog, FixedPlanScheduler({t: "m1.medium" for t in wf.task_ids}))
+        result = wms.submit(wf)
+        done_times = {
+            e.job_id: e.time for e in result.events if e.state.value == "done"
+        }
+        for rec in result.execution.task_records:
+            assert done_times[rec.task_id] == pytest.approx(rec.finish)
+
+    def test_region_affects_cost(self, wf, catalog):
+        plan = {t: "m1.small" for t in wf.task_ids}
+        wms = PegasusLite(catalog, FixedPlanScheduler(plan))
+        us = wms.submit(wf, region="us-east-1")
+        sg = wms.submit(wf, region="ap-southeast-1")
+        assert sg.cost > us.cost
+
+    def test_run_ids_vary_dynamics(self, wf, catalog):
+        wms = PegasusLite(catalog, FixedPlanScheduler({t: "m1.small" for t in wf.task_ids}))
+        a = wms.submit(wf, run_id=0)
+        b = wms.submit(wf, run_id=1)
+        assert a.makespan != b.makespan

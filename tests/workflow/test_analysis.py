@@ -1,0 +1,51 @@
+"""Tests for workflow structural analysis."""
+
+import pytest
+
+from repro.workflow.analysis import profile_workflow
+from repro.workflow.generators import ligo, montage, pipeline
+
+
+class TestProfile:
+    def test_pipeline_profile(self, catalog, runtime_model):
+        wf = pipeline(4, seed=0)
+        p = profile_workflow(wf, catalog, runtime_model)
+        assert p.num_tasks == 4
+        assert p.num_levels == 4
+        assert p.max_width == 1
+        assert p.parallelism == pytest.approx(1.0)
+        assert p.critical_path_tasks == wf.task_ids
+
+    def test_montage_is_io_bound(self, catalog, runtime_model):
+        p = profile_workflow(montage(degrees=1, seed=0), catalog, runtime_model)
+        assert p.is_io_bound
+
+    def test_ligo_is_cpu_bound(self, catalog, runtime_model):
+        p = profile_workflow(ligo(60, seed=0), catalog, runtime_model)
+        assert not p.is_io_bound
+        assert p.io_fraction_cheapest < 0.3
+
+    def test_parallelism_exceeds_one_for_wide_dags(self, catalog, runtime_model):
+        p = profile_workflow(montage(degrees=4, seed=0), catalog, runtime_model)
+        assert p.parallelism > 3.0
+        assert p.max_width > 10
+
+    def test_data_footprint(self, catalog, runtime_model):
+        wf = montage(degrees=1, seed=0)
+        p = profile_workflow(wf, catalog, runtime_model)
+        assert p.total_input_gb == pytest.approx(sum(t.input_bytes for t in wf) / 1e9)
+        assert p.total_input_gb > 0
+
+    def test_critical_path_consistency(self, catalog, runtime_model):
+        wf = montage(degrees=1, seed=0)
+        p = profile_workflow(wf, catalog, runtime_model)
+        assert p.critical_path_seconds <= p.serial_seconds_ref
+        assert p.critical_path_tasks[0] in wf.roots()
+
+    def test_empty_workflow(self, catalog, runtime_model):
+        from repro.workflow.dag import Workflow
+
+        p = profile_workflow(Workflow("none", []), catalog, runtime_model)
+        assert p.num_tasks == 0
+        assert p.parallelism == 1.0
+        assert p.io_fraction_cheapest == 0.0

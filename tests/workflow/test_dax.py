@@ -1,0 +1,87 @@
+"""Tests for DAX XML parsing/serialization."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.workflow.dax import parse_dax, parse_dax_string, to_dax_string, write_dax
+from repro.workflow.generators import montage, pipeline
+
+#: The paper's Fig. 4 pipeline DAX (slightly abbreviated).
+FIG4_DAX = """<?xml version="1.0" encoding="UTF-8"?>
+<adag xmlns="http://pegasus.isi.edu/schema/DAX" version="3.4" name="pipeline" jobCount="2" childCount="1">
+  <job id="ID01" name="process1" runtime="60">
+    <uses file="f.a" link="input" size="1000"/>
+    <uses file="f.b1" link="output" size="2000"/>
+  </job>
+  <job id="ID02" name="process2" runtime="30">
+    <uses file="f.b1" link="input" size="2000"/>
+    <uses file="f.c" link="output" size="500"/>
+  </job>
+  <child ref="ID02">
+    <parent ref="ID01"/>
+  </child>
+</adag>
+"""
+
+
+class TestParse:
+    def test_fig4_pipeline(self):
+        wf = parse_dax_string(FIG4_DAX)
+        assert wf.name == "pipeline"
+        assert len(wf) == 2
+        assert wf.parents("ID02") == ("ID01",)
+        t1 = wf.task("ID01")
+        assert t1.executable == "process1"
+        assert t1.runtime_ref == 60.0
+        assert t1.input_bytes == 1000
+        assert t1.output_bytes == 2000
+
+    def test_shared_file_transfer(self):
+        wf = parse_dax_string(FIG4_DAX)
+        assert wf.transfer_bytes("ID01", "ID02") == 2000
+
+    def test_malformed_xml_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_dax_string("<adag><job id='x'")
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_dax_string("<workflow/>")
+
+    def test_job_without_id_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_dax_string('<adag><job name="p"/></adag>')
+
+    def test_child_without_ref_rejected(self):
+        with pytest.raises(ValidationError):
+            parse_dax_string('<adag><job id="a" name="p"/><child><parent ref="a"/></child></adag>')
+
+    def test_name_override(self):
+        wf = parse_dax_string(FIG4_DAX, name="custom")
+        assert wf.name == "custom"
+
+    def test_namespace_tolerated(self):
+        text = FIG4_DAX  # carries the Pegasus namespace by default
+        assert len(parse_dax_string(text)) == 2
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("wf_factory", [lambda: pipeline(4, seed=3), lambda: montage(degrees=1, seed=3)])
+    def test_lossless(self, wf_factory):
+        wf = wf_factory()
+        back = parse_dax_string(to_dax_string(wf))
+        assert back.name == wf.name
+        assert list(back.task_ids) == list(wf.task_ids)
+        assert sorted(back.edges()) == sorted(wf.edges())
+        for tid in wf.task_ids:
+            a, b = wf.task(tid), back.task(tid)
+            assert b.executable == a.executable
+            assert b.runtime_ref == pytest.approx(a.runtime_ref)
+            assert b.input_bytes == a.input_bytes
+            assert b.output_bytes == a.output_bytes
+
+    def test_file_io(self, tmp_path):
+        wf = pipeline(3, seed=0)
+        path = tmp_path / "wf.dax"
+        write_dax(wf, path)
+        assert parse_dax(path).name == wf.name

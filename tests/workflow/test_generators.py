@@ -1,0 +1,144 @@
+"""Tests for the synthetic workflow generators."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.workflow.generators import (
+    cybershake,
+    epigenomics,
+    ligo,
+    montage,
+    pipeline,
+    random_dag,
+)
+
+ALL_GENERATORS = [
+    lambda: montage(degrees=1, seed=1),
+    lambda: ligo(60, seed=1),
+    lambda: epigenomics(60, seed=1),
+    lambda: cybershake(60, seed=1),
+    lambda: pipeline(5, seed=1),
+    lambda: random_dag(25, seed=1),
+]
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("factory", ALL_GENERATORS)
+    def test_acyclic_and_connected_endpoints(self, factory):
+        wf = factory()  # Workflow construction itself validates acyclicity
+        assert len(wf) >= 1
+        assert wf.roots()
+        assert wf.leaves()
+
+    @pytest.mark.parametrize("factory", ALL_GENERATORS)
+    def test_positive_runtimes(self, factory):
+        wf = factory()
+        assert all(t.runtime_ref > 0 for t in wf)
+
+    @pytest.mark.parametrize("factory", ALL_GENERATORS)
+    def test_deterministic_per_seed(self, factory):
+        a, b = factory(), factory()
+        assert list(a.task_ids) == list(b.task_ids)
+        assert [t.runtime_ref for t in a] == [t.runtime_ref for t in b]
+
+    def test_different_seeds_differ(self):
+        a = montage(degrees=1, seed=1)
+        b = montage(degrees=1, seed=2)
+        assert [t.runtime_ref for t in a] != [t.runtime_ref for t in b]
+
+
+class TestMontage:
+    def test_scales_with_degrees(self):
+        sizes = [len(montage(degrees=d, seed=0)) for d in (1, 4, 8)]
+        assert sizes[0] < sizes[1] < sizes[2]
+        assert 20 <= sizes[0] and sizes[2] <= 1000
+
+    def test_level_structure(self):
+        wf = montage(degrees=1, seed=0)
+        execs = {t.executable for t in wf}
+        assert {"mProjectPP", "mDiffFit", "mConcatFit", "mBgModel",
+                "mBackground", "mImgtbl", "mAdd", "mShrink", "mJPEG"} <= execs
+
+    def test_single_sink(self):
+        wf = montage(degrees=1, seed=0)
+        assert len(wf.leaves()) == 1
+        assert wf.task(wf.leaves()[0]).executable == "mJPEG"
+
+    def test_num_tasks_mode(self):
+        wf = montage(num_tasks=100, seed=0)
+        assert 60 <= len(wf) <= 140
+
+    def test_montage8_data_volume(self):
+        total_gb = sum(t.input_bytes for t in montage(degrees=8, seed=0)) / 1e9
+        assert total_gb > 100  # "hundreds of GB"
+
+    def test_invalid_args(self):
+        with pytest.raises(ValidationError):
+            montage(degrees=0)
+        with pytest.raises(ValidationError):
+            montage(num_tasks=5)
+
+
+class TestLigo:
+    def test_size_approximation(self):
+        for target in (20, 100, 400):
+            wf = ligo(num_tasks=target, seed=0)
+            assert abs(len(wf) - target) <= max(12, 0.25 * target)
+
+    def test_cpu_dominant(self, runtime_model):
+        """Ligo is the paper's CPU-intensive application."""
+        wf = ligo(100, seed=0)
+        inspirals = [t for t in wf if t.executable == "Inspiral"]
+        t = inspirals[0]
+        comp = runtime_model.components(t, "m1.small")
+        io_time = comp.io_bytes / 100e6
+        assert comp.cpu_seconds > 3 * io_time
+
+    def test_group_structure(self):
+        wf = ligo(44, seed=0)  # exactly 2 groups of 22
+        thincas = [t for t in wf if t.executable.startswith("Thinca")]
+        assert len(thincas) == 4  # 2 per group
+
+    def test_minimum_size(self):
+        with pytest.raises(ValidationError):
+            ligo(3)
+
+
+class TestEpigenomics:
+    def test_lane_fan_out(self):
+        wf = epigenomics(100, seed=0)
+        maps = [t for t in wf if t.executable == "map"]
+        assert len(maps) >= 10
+
+    def test_final_pileup(self):
+        wf = epigenomics(60, seed=0)
+        assert wf.task(wf.leaves()[0]).executable == "pileup"
+
+    def test_large_inputs(self):
+        wf = epigenomics(60, seed=0)
+        total_gb = sum(t.input_bytes for t in wf) / 1e9
+        assert total_gb > 10  # "dozens of GB"
+
+
+class TestPipeline:
+    def test_is_chain(self):
+        wf = pipeline(4, seed=0)
+        assert len(wf) == 4
+        assert wf.num_edges() == 3
+        assert len(wf.roots()) == 1 and len(wf.leaves()) == 1
+
+    def test_fig4_names(self):
+        wf = pipeline(2, seed=0)
+        assert [t.executable for t in wf] == ["process1", "process2"]
+        assert wf.task(wf.task_ids[0]).inputs[0].name == "f.a"
+
+
+class TestRandomDag:
+    def test_edge_probability_extremes(self):
+        assert random_dag(10, edge_prob=0.0, seed=0).num_edges() == 0
+        full = random_dag(6, edge_prob=1.0, seed=0)
+        assert full.num_edges() == 15  # complete DAG on 6 nodes
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValidationError):
+            random_dag(5, edge_prob=1.5)

@@ -1,0 +1,137 @@
+"""Tests for the task runtime model (CPU + I/O + network)."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.workflow.dag import FileSpec, Task
+from repro.workflow.generators import pipeline
+from repro.workflow.runtime_model import RuntimeModel
+
+MB = 1_000_000
+
+
+@pytest.fixture()
+def model(catalog):
+    return RuntimeModel(catalog)
+
+
+@pytest.fixture()
+def data_task():
+    return Task(
+        task_id="t",
+        runtime_ref=120.0,
+        inputs=(FileSpec("in", 1000 * MB),),
+        outputs=(FileSpec("out", 500 * MB),),
+    )
+
+
+class TestComponents:
+    def test_cpu_scales_with_speed(self, model, data_task, catalog):
+        small = model.components(data_task, "m1.small")
+        xlarge = model.components(data_task, "m1.xlarge")
+        assert small.cpu_seconds == pytest.approx(120.0)
+        assert xlarge.cpu_seconds == pytest.approx(120.0 / catalog.type("m1.xlarge").cpu_speed)
+
+    def test_bytes_are_type_independent(self, model, data_task):
+        a = model.components(data_task, "m1.small")
+        b = model.components(data_task, "m1.large")
+        assert a.io_bytes == b.io_bytes == 1500 * MB
+
+    def test_zero_data_task(self, model):
+        t = Task(task_id="z", runtime_ref=10.0)
+        comp = model.components(t, "m1.small")
+        assert comp.io_bytes == 0
+
+
+class TestMean:
+    def test_mean_decomposition(self, model, data_task, catalog):
+        itype = catalog.type("m1.small")
+        expected = (
+            120.0
+            + 1500 * MB / itype.seq_io.mean()
+            + 1500 * MB / itype.network.mean()
+        )
+        assert model.mean(data_task, "m1.small") == pytest.approx(expected)
+
+    def test_faster_types_not_slower(self, model, data_task, catalog):
+        means = [model.mean(data_task, n) for n in catalog.type_names]
+        assert means[0] == max(means)  # m1.small is slowest
+
+    def test_mean_cached(self, model, data_task):
+        a = model.mean(data_task, "m1.small")
+        b = model.mean(data_task, "m1.small")
+        assert a == b
+
+
+class TestSampling:
+    def test_sample_mean_consistent(self, model, data_task, rng):
+        samples = model.sample(data_task, "m1.small", rng, 20_000)
+        assert samples.mean() == pytest.approx(model.mean(data_task, "m1.small"), rel=0.05)
+
+    def test_samples_exceed_cpu_floor(self, model, data_task, rng):
+        samples = model.sample(data_task, "m1.small", rng, 1000)
+        assert np.all(samples > model.components(data_task, "m1.small").cpu_seconds)
+
+    def test_scalar_sample(self, model, data_task, rng):
+        assert isinstance(model.sample(data_task, "m1.small", rng), float)
+
+
+class TestHistogram:
+    def test_histogram_mean_close(self, model, data_task):
+        h = model.histogram(data_task, "m1.small")
+        assert h.mean() == pytest.approx(model.mean(data_task, "m1.small"), rel=0.05)
+
+    def test_cpu_only_task_is_point(self, model):
+        t = Task(task_id="c", runtime_ref=50.0)
+        h = model.histogram(t, "m1.medium")
+        assert len(h) == 1
+        assert h.mean() == pytest.approx(25.0)
+
+    def test_cached_histogram_shared_for_same_profile(self, model):
+        a = Task(task_id="a", runtime_ref=10.0, inputs=(FileSpec("x", MB),))
+        b = Task(task_id="b", runtime_ref=10.0, inputs=(FileSpec("y", MB),))
+        assert model.cached_histogram(a, "m1.small") is model.cached_histogram(b, "m1.small")
+
+    def test_percentile_ordering(self, model, data_task):
+        p50 = model.percentile(data_task, "m1.small", 50)
+        p95 = model.percentile(data_task, "m1.small", 95)
+        assert p50 < p95
+
+
+class TestTensors:
+    def test_shapes(self, model, catalog):
+        wf = pipeline(4, seed=0)
+        tensor = model.sample_tensor(wf, 30, seed=1)
+        assert tensor.shape == (len(catalog), 30, 4)
+        assert model.mean_matrix(wf).shape == (len(catalog), 4)
+
+    def test_tensor_reproducible(self, model):
+        wf = pipeline(3, seed=0)
+        a = model.sample_tensor(wf, 10, seed=5)
+        b = model.sample_tensor(wf, 10, seed=5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_tensor_type_subset(self, model):
+        wf = pipeline(3, seed=0)
+        full = model.sample_tensor(wf, 10, seed=5)
+        sub = model.sample_tensor(wf, 10, seed=5, type_names=("m1.small",))
+        np.testing.assert_array_equal(sub[0], full[0])
+
+    def test_tensor_positive(self, model):
+        wf = pipeline(3, seed=0)
+        assert np.all(model.sample_tensor(wf, 20, seed=2) > 0)
+
+    def test_tensor_mean_tracks_model_mean(self, model):
+        wf = pipeline(2, seed=0, data_mb=2000.0)
+        tensor = model.sample_tensor(wf, 4000, seed=3)
+        mean = model.mean_matrix(wf)
+        np.testing.assert_allclose(tensor.mean(axis=1), mean, rtol=0.05)
+
+    def test_invalid_num_samples(self, model):
+        with pytest.raises(ValidationError):
+            model.sample_tensor(pipeline(2, seed=0), 0)
+
+    def test_invalid_bins(self, catalog):
+        with pytest.raises(ValidationError):
+            RuntimeModel(catalog, histogram_bins=0)

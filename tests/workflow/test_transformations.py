@@ -1,0 +1,129 @@
+"""Tests for the six transformation operations (paper Fig. 5)."""
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.workflow.generators import pipeline
+from repro.workflow.transformations import OPERATION_NAMES, ScheduleDraft
+
+
+@pytest.fixture()
+def draft(diamond, catalog):
+    return ScheduleDraft.initial(diamond, catalog)
+
+
+class TestInitialState:
+    def test_everything_on_cheapest(self, draft):
+        assert set(draft.type_index.values()) == {0}
+
+    def test_assignment_names(self, draft, catalog):
+        names = draft.assignment()
+        assert set(names.values()) == {catalog.type_names[0]}
+
+    def test_six_operations_exist(self):
+        assert len(OPERATION_NAMES) == 6
+
+
+class TestPromoteDemote:
+    def test_promote_moves_up_one(self, draft):
+        assert draft.promote("a")
+        assert draft.type_index["a"] == 1
+
+    def test_promote_saturates_at_top(self, draft, catalog):
+        for _ in range(len(catalog) - 1):
+            assert draft.promote("a")
+        assert not draft.promote("a")
+        assert draft.type_index["a"] == len(catalog) - 1
+
+    def test_demote_inverse_of_promote(self, draft):
+        draft.promote("a")
+        assert draft.demote("a")
+        assert draft.type_index["a"] == 0
+
+    def test_demote_saturates_at_bottom(self, draft):
+        assert not draft.demote("a")
+
+    def test_unknown_task_rejected(self, draft):
+        with pytest.raises(ValidationError):
+            draft.promote("zz")
+
+    def test_fig5b_children(self, catalog):
+        """Fig. 5b: the initial state's Promote children each upgrade one task."""
+        wf = pipeline(2, seed=0)
+        draft = ScheduleDraft.initial(wf, catalog)
+        children = list(draft.children_by_promote())
+        assert len(children) == 2
+        for child in children:
+            upgraded = [t for t, i in child.type_index.items() if i == 1]
+            assert len(upgraded) == 1
+        # The parent draft is untouched.
+        assert set(draft.type_index.values()) == {0}
+
+
+class TestMergeCoschedule:
+    def test_merge_same_type_tasks(self, draft):
+        assert draft.merge("b", "c")
+        assert draft.group["b"] == draft.group["c"]
+
+    def test_merge_requires_same_type(self, draft):
+        draft.promote("b")
+        assert not draft.merge("b", "c")
+
+    def test_merge_rejects_reverse_precedence(self, draft):
+        # d depends on b; merging (d, b) with d first would deadlock.
+        assert not draft.merge("d", "b")
+
+    def test_merge_allows_forward_precedence(self, draft):
+        assert draft.merge("b", "d")
+
+    def test_merge_self_rejected(self, draft):
+        assert not draft.merge("b", "b")
+
+    def test_merge_transitive_group(self, draft):
+        draft.merge("a", "b")
+        draft.merge("a", "c")
+        assert draft.group["b"] == draft.group["c"]
+
+    def test_co_schedule(self, draft):
+        assert draft.co_schedule(("b", "c"))
+        assert draft.groups() is not None
+
+    def test_co_schedule_needs_two(self, draft):
+        assert not draft.co_schedule(("b",))
+
+    def test_co_schedule_requires_same_type(self, draft):
+        draft.promote("c")
+        assert not draft.co_schedule(("b", "c"))
+
+    def test_groups_none_when_empty(self, draft):
+        assert draft.groups() is None
+
+
+class TestMoveSplit:
+    def test_move_accumulates(self, draft):
+        draft.move("a", 10.0)
+        draft.move("a", 5.0)
+        assert draft.start["a"] == 15.0
+
+    def test_move_rejects_negative(self, draft):
+        with pytest.raises(ValidationError):
+            draft.move("a", -1.0)
+
+    def test_split_records_interval(self, draft):
+        draft.split("b", 100.0, 200.0)
+        assert draft.splits["b"] == [(100.0, 200.0)]
+
+    def test_split_rejects_bad_interval(self, draft):
+        with pytest.raises(ValidationError):
+            draft.split("b", 200.0, 100.0)
+
+
+class TestCopy:
+    def test_copy_is_deep_for_mutables(self, draft):
+        clone = draft.copy()
+        clone.promote("a")
+        clone.move("b", 5.0)
+        clone.merge("b", "c")
+        assert draft.type_index["a"] == 0
+        assert "b" not in draft.start
+        assert "b" not in draft.group
