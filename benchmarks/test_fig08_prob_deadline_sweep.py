@@ -33,3 +33,22 @@ def test_fig08(benchmark, config, report):
     # Measured cost: Deco wins on average across the sweep.
     mean_norm = sum(r["cost_norm"] for r in rows) / len(rows)
     assert mean_norm <= 1.05
+
+    # Makespan-cache reuse: the deadline is fixed per workflow, so every
+    # solve after the first reuses Monte Carlo propagations through the
+    # Deco makespan cache -- strictly fewer backend makespan
+    # computations (misses) than states evaluated.
+    by_wf: dict[str, list[dict]] = {}
+    for row in rows:
+        by_wf.setdefault(row["workflow"], []).append(row)
+    for wf_rows in by_wf.values():
+        first, rest = wf_rows[0], wf_rows[1:]
+        assert rest, "sweep needs >= 2 percentiles per workflow"
+        for row in rest:
+            assert row["mk_cache_hits"] > 0, (
+                f"{row['workflow']} p={row['percentile']}: no cache reuse"
+            )
+            assert row["mk_cache_misses"] < first["mk_cache_misses"], (
+                "warm solve did not compute strictly fewer makespans "
+                "than the cold one"
+            )

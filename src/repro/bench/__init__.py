@@ -21,7 +21,11 @@ from repro.bench.fig08 import fig08_probabilistic_deadline_sweep
 from repro.bench.fig09 import fig09_ensemble_scores
 from repro.bench.fig10 import fig10_follow_the_cost
 from repro.bench.fig11 import fig11_deadline_sensitivity
-from repro.bench.perf import solver_speedup, optimization_overhead
+from repro.bench.perf import (
+    solver_speedup,
+    optimization_overhead,
+    write_bench_solver_json,
+)
 from repro.bench.ablations import (
     ablation_probabilistic_vs_deterministic,
     ablation_mc_iterations,
@@ -45,6 +49,7 @@ __all__ = [
     "fig11_deadline_sensitivity",
     "solver_speedup",
     "optimization_overhead",
+    "write_bench_solver_json",
     "ablation_probabilistic_vs_deterministic",
     "ablation_mc_iterations",
     "ablation_astar_pruning",

@@ -14,12 +14,14 @@ Two entry points:
 from __future__ import annotations
 
 import time
+from collections import OrderedDict
 
 from repro.common.errors import InfeasibleError, ValidationError
 from repro.cloud.instance_types import Catalog
 from repro.engine.compiler import compile_or_raise
 from repro.engine.plan import DeadlinePresets, ProvisioningPlan, deadline_presets
 from repro.solver.backends import CompiledProblem, get_backend
+from repro.solver.cache import MakespanCache
 from repro.solver.search import GenericSearch
 from repro.solver.state import PlanState
 from repro.wlog.imports import ImportRegistry
@@ -45,9 +47,19 @@ class Deco:
         ``"gpu"`` (vectorized, default) or ``"cpu"`` (scalar reference).
     num_samples:
         Monte Carlo realizations per state evaluation.
-    max_evaluations / beam_width / children_per_state:
+    max_evaluations / beam_width / children_per_state / expand_per_iter:
         Search budget knobs (see :class:`~repro.solver.search.GenericSearch`).
+
+    A Deco instance memoizes both the compiled problem per workflow
+    (deadline/percentile changes derive via
+    :meth:`CompiledProblem.with_deadline`, sharing the sample tensor)
+    and, through :attr:`cache`, the per-state makespan samples -- so
+    deadline/percentile sweeps over the same workflow reuse every
+    Monte Carlo propagation the search has already paid for.
     """
+
+    #: How many (workflow, region) compiled problems to keep alive.
+    _PROBLEM_CACHE_SIZE = 8
 
     def __init__(
         self,
@@ -58,19 +70,25 @@ class Deco:
         max_evaluations: int = 3000,
         beam_width: int = 24,
         children_per_state: int = 12,
+        expand_per_iter: int = 8,
         require_feasible: bool = False,
     ):
         self.catalog = catalog
         self.seed = int(seed)
-        self.backend = get_backend(backend)
+        self.cache = MakespanCache()
+        self.backend = get_backend(backend, cache=self.cache)
         self.num_samples = int(num_samples)
         self.require_feasible = require_feasible
         self.runtime_model = RuntimeModel(catalog)
+        # (id(workflow), region) -> (workflow, base CompiledProblem); the
+        # stored workflow reference pins the id and guards against reuse.
+        self._problems: OrderedDict[tuple, tuple[Workflow, CompiledProblem]] = OrderedDict()
         self._search = GenericSearch(
             backend=self.backend,
             children_per_state=children_per_state,
             beam_width=beam_width,
             max_evaluations=max_evaluations,
+            expand_per_iter=expand_per_iter,
         )
 
     # Deadline helpers ------------------------------------------------------
@@ -102,17 +120,37 @@ class Deco:
         probabilistic deadline P(makespan <= D) >= p (Eq. 3).
         """
         d = self._resolve_deadline(workflow, deadline)
+        problem = self._compiled(workflow, region).with_deadline(
+            d, percentile=deadline_percentile
+        )
+        return self._solve(problem, seeds=tuple(seeds) + self._warm_starts(problem))
+
+    def _compiled(self, workflow: Workflow, region: str | None) -> CompiledProblem:
+        """Compile ``workflow`` once; later deadlines derive from the base.
+
+        The returned problem carries a placeholder deadline -- callers
+        always go through :meth:`CompiledProblem.with_deadline`, which
+        shares the sample tensor so the makespan cache keeps hitting.
+        """
+        key = (id(workflow), region)
+        entry = self._problems.get(key)
+        if entry is not None and entry[0] is workflow:
+            self._problems.move_to_end(key)
+            return entry[1]
         problem = CompiledProblem.compile(
             workflow=workflow,
             catalog=self.catalog,
-            deadline=d,
-            percentile=deadline_percentile,
+            deadline=1.0,
+            percentile=96.0,
             num_samples=self.num_samples,
             seed=self.seed,
             runtime_model=self.runtime_model,
             region=region,
         )
-        return self._solve(problem, seeds=tuple(seeds) + self._warm_starts(problem))
+        self._problems[key] = (workflow, problem)
+        while len(self._problems) > self._PROBLEM_CACHE_SIZE:
+            self._problems.popitem(last=False)
+        return problem
 
     # Declarative API -----------------------------------------------------------
 

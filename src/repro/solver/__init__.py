@@ -10,9 +10,14 @@
   "block"), while the **scalar backend** is the single-thread CPU
   reference the paper compares against.  Both are cross-checked against
   the WLog interpreter.
+* :mod:`~repro.solver.levels` -- the level-parallel DAG layout: padded
+  parent-index matrices and topological levels, so finish-time
+  propagation costs D (depth) fused array steps instead of N (tasks).
+* :mod:`~repro.solver.cache` -- makespan memoization keyed by
+  ``(tensor id, state key)``, reused across ``with_deadline`` sweeps.
 * :mod:`~repro.solver.search` -- the generic transformation-driven
-  search (paper Algorithm 2) and A* search with user-supplied g/h
-  scores.
+  search (paper Algorithm 2, batched frontier expansion) and A* search
+  with user-supplied g/h scores.
 """
 
 from repro.solver.state import PlanState, StateEval
@@ -23,6 +28,8 @@ from repro.solver.backends import (
     ScalarBackend,
     get_backend,
 )
+from repro.solver.cache import MakespanCache
+from repro.solver.levels import LevelSchedule
 from repro.solver.search import GenericSearch, AStarSearch, SearchResult
 from repro.solver.analytic import analytic_makespan, analytic_deadline_probability
 
@@ -34,6 +41,8 @@ __all__ = [
     "VectorizedBackend",
     "ScalarBackend",
     "get_backend",
+    "MakespanCache",
+    "LevelSchedule",
     "GenericSearch",
     "AStarSearch",
     "SearchResult",

@@ -7,19 +7,36 @@ are unavailable in this environment, so the GPU role is played by a
 **vectorized NumPy backend** with the identical parallel decomposition:
 
 * the sampled task-time tensor ``(K types, S realizations, N tasks)``
-  is precomputed once per problem (the GPU's device-resident data);
-* evaluating a batch of B states gathers a ``(B, S, N)`` time array
-  (coalesced reads) and propagates finish times through the DAG in
-  topological order -- N fused vector operations over ``B*S`` lanes,
-  exactly the arithmetic each CUDA thread would perform;
+  plus a task-major copy ``(K, N, S)`` are precomputed once per problem
+  (the GPU's device-resident data); the task-major layout makes each
+  (type, task) row a contiguous S-sample run, so lane gathering is a
+  row ``take`` driven by an ``(N, B)`` index matrix (coalesced reads);
+* evaluating a batch of B states propagates finish times through the
+  DAG in **level-parallel** order: :class:`~repro.solver.levels.LevelSchedule`
+  precomputes the topological levels, a padded parent-index matrix
+  (``-1`` sentinel) and a level-contiguous task permutation at compile
+  time; the backend's fused kernel then, per level, gathers the lane
+  block, advances finish times with gather + ``max`` reductions over
+  all ``B*S`` lanes, and folds the block max into the running makespan
+  while the block is cache-hot -- D (depth) Python iterations instead
+  of N (tasks), exactly the wavefront a CUDA kernel would launch per
+  level;
 * the deadline probability is a mean over the S axis (a block-level
   reduction in the CUDA version).
+
+Backends optionally carry a :class:`~repro.solver.cache.MakespanCache`
+that memoizes per-state makespan rows keyed by ``(tensor id, state
+key)``, so deadline sweeps over :meth:`CompiledProblem.with_deadline`
+derivations (same tensor, different feasibility test) reuse samples
+instead of recomputing them.
 
 The **scalar backend** computes the same quantities with pure-Python
 loops -- the single-thread CPU baseline of the paper's speedup numbers.
 Both backends are bit-identical on the same problem (asserted in the
 test suite) and statistically consistent with the WLog interpreter's
-Algorithm-1 evaluation.
+Algorithm-1 evaluation.  The pre-level-parallel per-task loop is kept
+as ``VectorizedBackend(level_parallel=False)`` so the speedup of the
+fast path stays measurable (see ``repro.bench.perf``).
 """
 
 from __future__ import annotations
@@ -32,6 +49,8 @@ import numpy as np
 from repro.common.errors import SolverError
 from repro.common.units import SECONDS_PER_HOUR
 from repro.cloud.instance_types import Catalog
+from repro.solver.cache import MakespanCache
+from repro.solver.levels import LevelSchedule
 from repro.solver.state import PlanState, StateEval
 from repro.workflow.dag import Workflow
 from repro.workflow.runtime_model import RuntimeModel
@@ -62,6 +81,21 @@ class CompiledProblem:
     parent_indices: tuple[tuple[int, ...], ...]  # per task, topological order
     deadline: float            # seconds
     required_probability: float  # P(makespan <= deadline) must reach this
+    levels: LevelSchedule | None = None  # level-parallel layout (built if absent)
+    #: (K, N, S) task-major copy of ``tensor``: row ``[k, i]`` holds task
+    #: i's samples contiguously, so the backend's lane gather is K*N
+    #: contiguous row copies instead of element-wise flat indexing.
+    tensor_taskmajor: np.ndarray | None = None
+
+    def __post_init__(self):
+        if self.levels is None:
+            object.__setattr__(
+                self, "levels", LevelSchedule.from_parent_indices(self.parent_indices)
+            )
+        if self.tensor_taskmajor is None:
+            tm = np.ascontiguousarray(self.tensor.transpose(0, 2, 1))
+            tm.setflags(write=False)
+            object.__setattr__(self, "tensor_taskmajor", tm)
 
     @classmethod
     def compile(
@@ -98,6 +132,7 @@ class CompiledProblem:
             parent_indices=parents,
             deadline=float(deadline),
             required_probability=percentile / 100.0,
+            levels=LevelSchedule.from_parent_indices(parents),
         )
 
     @property
@@ -114,9 +149,14 @@ class CompiledProblem:
 
     def expected_cost(self, assignment: np.ndarray) -> float:
         """Paper Eq. 1-2: sum of mean task time x unit price (frac. hours)."""
+        return float(self.expected_cost_batch(np.asarray(assignment)[None, :])[0])
+
+    def expected_cost_batch(self, assignments: np.ndarray) -> np.ndarray:
+        """Eq. 1 cost for a ``(B, N)`` assignment matrix, one pass."""
+        a = np.asarray(assignments, dtype=np.int64)
         idx = np.arange(self.num_tasks)
-        per_task = self.mean_times[assignment, idx] * self.prices[assignment]
-        return float(per_task.sum() / SECONDS_PER_HOUR)
+        per_task = self.mean_times[a, idx] * self.prices[a]
+        return per_task.sum(axis=-1) / SECONDS_PER_HOUR
 
     def state_from_assignment(self, assignment) -> PlanState:
         """Build a :class:`PlanState` from a task->type-name mapping."""
@@ -127,7 +167,11 @@ class CompiledProblem:
         return PlanState(arr)
 
     def with_deadline(self, deadline: float, percentile: float | None = None) -> "CompiledProblem":
-        """Same problem under a different deadline requirement."""
+        """Same problem under a different deadline requirement.
+
+        Shares the sample tensor and level schedule, so makespan caches
+        keyed on the tensor keep hitting across the derived problems.
+        """
         return CompiledProblem(
             workflow=self.workflow,
             catalog=self.catalog,
@@ -139,71 +183,198 @@ class CompiledProblem:
             required_probability=(
                 self.required_probability if percentile is None else percentile / 100.0
             ),
+            levels=self.levels,
+            tensor_taskmajor=self.tensor_taskmajor,
         )
 
 
 class EvaluationBackend(abc.ABC):
-    """Evaluates batches of states against a compiled problem."""
+    """Evaluates batches of states against a compiled problem.
+
+    ``cache`` (optional) memoizes per-state makespan rows across calls
+    and across ``with_deadline``-derived problems; hit/miss counters
+    live on the cache object.
+    """
 
     name: str = "abstract"
+
+    def __init__(self, cache: MakespanCache | None = None):
+        self.cache = cache
 
     @abc.abstractmethod
     def makespan_samples(self, problem: CompiledProblem, states) -> np.ndarray:
         """``(B, S)`` per-realization makespans for B states."""
 
+    def cached_makespan_samples(self, problem: CompiledProblem, states) -> np.ndarray:
+        """Like :meth:`makespan_samples`, consulting the cache if present."""
+        states = list(states)
+        if self.cache is None:
+            return self.makespan_samples(problem, states)
+        return self.cache.fetch(problem, states, self.makespan_samples)
+
     def evaluate_batch(self, problem: CompiledProblem, states) -> list[StateEval]:
-        """Full evaluation: Eq. 1 cost + P(makespan <= D) per state."""
+        """Full evaluation: Eq. 1 cost + P(makespan <= D) per state.
+
+        Cost, probability and mean makespan are all computed as single
+        array reductions over the batch (no per-state Python arithmetic).
+        """
         states = list(states)
         if not states:
             return []
-        makespans = self.makespan_samples(problem, states)
-        out: list[StateEval] = []
-        for b, state in enumerate(states):
-            mk = makespans[b]
-            prob = float(np.mean(mk <= problem.deadline))
-            out.append(
-                StateEval(
-                    cost=problem.expected_cost(state.assignment),
-                    probability=prob,
-                    feasible=prob >= problem.required_probability - 1e-12,
-                    mean_makespan=float(mk.mean()),
-                )
+        makespans = self.cached_makespan_samples(problem, states)
+        assign = np.stack([st.assignment for st in states])
+        costs = problem.expected_cost_batch(assign)
+        probs = np.mean(makespans <= problem.deadline, axis=1)
+        means = makespans.mean(axis=1)
+        threshold = problem.required_probability - 1e-12
+        return [
+            StateEval(
+                cost=float(costs[b]),
+                probability=float(probs[b]),
+                feasible=bool(probs[b] >= threshold),
+                mean_makespan=float(means[b]),
             )
-        return out
+            for b in range(len(states))
+        ]
 
     def evaluate(self, problem: CompiledProblem, state: PlanState) -> StateEval:
         return self.evaluate_batch(problem, [state])[0]
 
 
+def _propagate_taskloop(lanes: np.ndarray, parent_indices) -> np.ndarray:
+    """Pre-level-parallel reference: one Python iteration per task.
+
+    Kept as the "before" of the level-parallel speedup measurement
+    (``repro.bench.perf.solver_speedup``); numerically identical.
+    """
+    finish = np.empty_like(lanes)
+    for i, parents in enumerate(parent_indices):
+        if parents:
+            ready = finish[:, parents[0]]
+            for p in parents[1:]:
+                ready = np.maximum(ready, finish[:, p])
+            finish[:, i] = ready + lanes[:, i]
+        else:
+            finish[:, i] = lanes[:, i]
+    return finish
+
+
 class VectorizedBackend(EvaluationBackend):
-    """The "GPU" backend: batched array evaluation (see module docstring)."""
+    """The "GPU" backend: batched array evaluation (see module docstring).
+
+    The fast path works in *permuted task-major* layout: one flat-index
+    ``take`` gathers the ``(N, B*S)`` lane matrix with tasks already in
+    level-contiguous order, then :meth:`LevelSchedule.propagate_permuted`
+    advances one level per step.  Large intermediates (index matrix,
+    lane matrix, finish matrix, level scratch) come from a small
+    per-backend buffer pool -- reallocating multi-hundred-KB arrays
+    every evaluation costs page faults that dominate the kernel at
+    search-sized batches.  The pool makes the backend non-reentrant
+    (one evaluation at a time per instance), matching a CUDA stream.
+
+    ``level_parallel=False`` selects the pre-optimization per-task
+    propagation loop -- same numbers, N instead of D Python iterations --
+    used by the benchmarks as the speedup baseline of the fast path.
+    """
 
     name = "gpu"
+
+    _POOL_MAX = 32  # distinct (name, shape) buffers kept alive
+
+    def __init__(self, cache: MakespanCache | None = None, level_parallel: bool = True):
+        super().__init__(cache=cache)
+        self.level_parallel = bool(level_parallel)
+        self._pool: dict[tuple, object] = {}
+
+    def _buf(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A pooled scratch array (contents undefined)."""
+        key = (name, shape, np.dtype(dtype).str)
+        buf = self._pool.get(key)
+        if buf is None:
+            if len(self._pool) >= self._POOL_MAX:
+                self._pool.clear()
+            buf = np.empty(shape, dtype=dtype)
+            self._pool[key] = buf
+        return buf
+
+    def _validated_assignments(self, problem: CompiledProblem, states) -> np.ndarray:
+        assign = np.stack([st.assignment for st in states]).astype(np.int64)  # (B, N)
+        if assign.shape[1] != problem.num_tasks:
+            raise SolverError(
+                f"state has {assign.shape[1]} tasks, problem has {problem.num_tasks}"
+            )
+        if assign.min(initial=0) < 0:
+            raise SolverError("state references a negative type index")
+        if assign.max(initial=0) >= problem.num_types:
+            raise SolverError("state references a type index outside the catalog")
+        return assign
 
     def makespan_samples(self, problem: CompiledProblem, states) -> np.ndarray:
         states = list(states)
         b = len(states)
         n = problem.num_tasks
         s = problem.num_samples
-        assign = np.stack([st.assignment for st in states]).astype(np.int64)  # (B, N)
-        if assign.shape[1] != n:
-            raise SolverError(f"state has {assign.shape[1]} tasks, problem has {n}")
-        if assign.max(initial=0) >= problem.num_types:
-            raise SolverError("state references a type index outside the catalog")
-        # Gather: times[b, i, s'] = tensor[assign[b, i], s', i]  -> (B, N, S)
-        times = problem.tensor[assign, :, np.arange(n)[None, :]]
-        # Propagate finish times through the DAG over all B*S lanes at once.
-        lanes = times.transpose(0, 2, 1).reshape(b * s, n)  # (B*S, N)
-        finish = np.empty_like(lanes)
-        for i, parents in enumerate(problem.parent_indices):
-            if parents:
-                ready = finish[:, parents[0]]
-                for p in parents[1:]:
-                    ready = np.maximum(ready, finish[:, p])
-                finish[:, i] = ready + lanes[:, i]
+        assign = self._validated_assignments(problem, states)
+        if not self.level_parallel:
+            # Pre-level-parallel reference path, kept measurable.
+            times = problem.tensor[assign, :, np.arange(n)[None, :]]  # (B, N, S)
+            lanes = times.transpose(0, 2, 1).reshape(b * s, n)  # (B*S, N)
+            finish = _propagate_taskloop(lanes, problem.parent_indices)
+            return finish.max(axis=1).reshape(b, s)
+
+        sched = problem.levels
+        if n == 0:
+            return np.zeros((b, s))
+
+        # Fused level kernel over the task-major tensor copy: per level,
+        # gather the lane block as contiguous row takes, propagate finish
+        # times, and fold the block max into the running makespan -- each
+        # block is consumed while still cache-hot instead of being
+        # re-read cold in later passes.  lanes[r, b*S + s'] =
+        # tensor[assign[b, order[r]], s', order[r]], tasks level-permuted.
+        # (LevelSchedule.propagate_permuted is the unfused reference; the
+        # test suite asserts both agree bit-for-bit with ScalarBackend.)
+        m = b * s
+        rows = problem.tensor_taskmajor.reshape(problem.num_types * n, s)
+        perm_assign = assign.T.take(sched.order, axis=0)  # (N, B)
+        idx = perm_assign * n + sched.order[:, None]  # (N, B) row ids
+        w = sched.max_width
+        finish = self._buf("finish", (n + 1, m))
+        finish[n] = 0.0  # the sentinel row every padded parent slot reads
+        lanes = self._buf("lanes", (w, m))
+        buf_a = self._buf("scratch_a", (w, m))
+        buf_b = self._buf("scratch_b", (w, m))
+        out = np.empty((b, s))  # fresh: callers may hold on to the result
+        makespan = out.reshape(m)
+        for lv, ((lo, hi), gather, columns) in enumerate(
+            zip(sched.level_bounds, sched.level_parents, sched.level_columns)
+        ):
+            k = hi - lo
+            ln = lanes[:k]
+            # Indices come from validated assignments; skip bounds checks.
+            np.take(
+                rows, idx[lo:hi].reshape(k * b), axis=0,
+                out=ln.reshape(k * b, s), mode="clip",
+            )
+            dst = finish[lo:hi]
+            if gather.shape[1] == 0:
+                dst[...] = ln
+            elif columns is not None:
+                ready = buf_a[:k]
+                np.take(finish, columns[0], axis=0, out=ready, mode="clip")
+                for col in columns[1:]:
+                    other = buf_b[:k]
+                    np.take(finish, col, axis=0, out=other, mode="clip")
+                    np.maximum(ready, other, out=ready)
+                np.add(ready, ln, out=dst)
             else:
-                finish[:, i] = lanes[:, i]
-        return finish.max(axis=1).reshape(b, s)
+                # Big fan-in, few tasks: one 3-D gather + max reduction.
+                np.add(finish[gather].max(axis=1), ln, out=dst)
+            if lv == 0:
+                dst.max(axis=0, out=makespan)
+            else:
+                np.maximum(makespan, dst.max(axis=0), out=makespan)
+        return out
 
 
 class ScalarBackend(EvaluationBackend):
@@ -245,9 +416,9 @@ class ScalarBackend(EvaluationBackend):
 _BACKENDS = {"gpu": VectorizedBackend, "cpu": ScalarBackend}
 
 
-def get_backend(name: str) -> EvaluationBackend:
+def get_backend(name: str, cache: MakespanCache | None = None) -> EvaluationBackend:
     """Backend factory: ``"gpu"`` (vectorized) or ``"cpu"`` (scalar)."""
     try:
-        return _BACKENDS[name]()
+        return _BACKENDS[name](cache=cache)
     except KeyError:
         raise SolverError(f"unknown backend {name!r}; choose from {sorted(_BACKENDS)}") from None

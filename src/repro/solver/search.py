@@ -11,6 +11,14 @@ states that cannot improve on the incumbent (promoting only raises
 cost, so any state already costlier than the best feasible solution is
 dead -- the observation behind the paper's A* variant).
 
+Expansion is *batched*: each iteration takes the top
+``expand_per_iter`` beam states, generates all their transformation
+children, dedupes them against the visited set, and evaluates the
+union as **one** backend batch -- the paper's block-per-state GPU
+layout, where every kernel launch carries many states.  Priority and
+pruning semantics are those of the one-state-at-a-time loop; only the
+evaluation granularity changes.
+
 :class:`AStarSearch` is a generic best-first A* over user-supplied
 ``g``/``h`` scores, used when a WLog program declares
 ``enabled(astar)`` (workflow-ensemble admission in the paper).
@@ -43,6 +51,8 @@ class SearchResult:
     expansions: int
     feasible_found: bool
     trace: list[tuple[int, float]] = field(default_factory=list)
+    cache_hits: int = 0    # makespan-cache hits during this solve
+    cache_misses: int = 0  # makespan rows actually computed
 
     def assignment_names(self, problem: CompiledProblem) -> dict[str, str]:
         """task id -> instance type name for the best state."""
@@ -66,6 +76,9 @@ class GenericSearch:
         Frontier cap -- the exploration/exploitation balance knob.
     max_evaluations:
         Total state-evaluation budget.
+    expand_per_iter:
+        How many beam states expand per iteration; their children are
+        deduped and evaluated as one backend batch (block-per-state).
     """
 
     def __init__(
@@ -74,13 +87,20 @@ class GenericSearch:
         children_per_state: int = 12,
         beam_width: int = 24,
         max_evaluations: int = 4000,
+        expand_per_iter: int = 8,
     ):
-        if children_per_state < 1 or beam_width < 1 or max_evaluations < 1:
+        if (
+            children_per_state < 1
+            or beam_width < 1
+            or max_evaluations < 1
+            or expand_per_iter < 1
+        ):
             raise SolverError("search parameters must be >= 1")
         self.backend = backend or VectorizedBackend()
         self.children_per_state = children_per_state
         self.beam_width = beam_width
         self.max_evaluations = max_evaluations
+        self.expand_per_iter = expand_per_iter
 
     # ------------------------------------------------------------------
 
@@ -111,6 +131,9 @@ class GenericSearch:
                 seen.add(st.key)
                 frontier_states.append(st)
 
+        cache = getattr(self.backend, "cache", None)
+        hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+
         evals = self.backend.evaluate_batch(problem, frontier_states)
         evaluations = len(frontier_states)
         best_state, best_eval = None, None
@@ -126,15 +149,20 @@ class GenericSearch:
         while frontier and evaluations < self.max_evaluations:
             frontier.sort(key=lambda se: self._priority(se[1]))
             frontier = frontier[: self.beam_width]
-            state, ev = frontier.pop(0)
-            expansions += 1
+            batch = frontier[: self.expand_per_iter]
+            frontier = frontier[self.expand_per_iter :]
 
-            children = self._children(problem, state, ev, best_eval)
-            children = [c for c in children if c.key not in seen]
+            # Children of every expanded state, deduped against the
+            # visited set, form one backend batch (block-per-state).
+            children: list[PlanState] = []
+            for state, ev in batch:
+                expansions += 1
+                for c in self._children(problem, state, ev, best_eval):
+                    if c.key not in seen:
+                        seen.add(c.key)
+                        children.append(c)
             if not children:
                 continue
-            for c in children:
-                seen.add(c.key)
             budget = self.max_evaluations - evaluations
             children = children[:budget]
             child_evals = self.backend.evaluate_batch(problem, children)
@@ -159,6 +187,8 @@ class GenericSearch:
             expansions=expansions,
             feasible_found=best_eval.feasible,
             trace=trace,
+            cache_hits=(cache.hits - hits0) if cache else 0,
+            cache_misses=(cache.misses - misses0) if cache else 0,
         )
 
     # ------------------------------------------------------------------
@@ -310,4 +340,9 @@ class AStarSearch:
                 if nf < best_f:
                     best_state, best_f = nxt, nf
 
-        return AStarResult(best_state, best_f, expanded, len(closed), found)
+        # Budget exhausted.  The best tracked state may be a goal that
+        # was pushed but never popped; report it as found rather than
+        # freezing ``found`` at is_goal(initial).
+        return AStarResult(
+            best_state, best_f, expanded, len(closed), found or is_goal(best_state)
+        )

@@ -119,6 +119,17 @@ class TestBackends:
         with pytest.raises(SolverError):
             VectorizedBackend().evaluate(problem, state)
 
+    def test_negative_type_rejected(self, problem):
+        # PlanState itself refuses negative indices, so fake a corrupted
+        # state: the backend must still reject it instead of silently
+        # wrapping around to the most expensive type (regression).
+        class CorruptState:
+            assignment = np.full(problem.num_tasks, -1, dtype=np.int64)
+            key = assignment.tobytes()
+
+        with pytest.raises(SolverError, match="negative"):
+            VectorizedBackend().makespan_samples(problem, [CorruptState()])
+
     def test_agreement_on_random_dags(self, catalog, runtime_model):
         for seed in range(3):
             wf = random_dag(10, edge_prob=0.3, seed=seed)

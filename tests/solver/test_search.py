@@ -61,6 +61,35 @@ class TestGenericSearch:
         with pytest.raises(SolverError):
             GenericSearch(beam_width=0)
         with pytest.raises(SolverError):
+            GenericSearch(expand_per_iter=0)
+
+    def test_batched_expansion_matches_serial_quality(self, problem):
+        """Wider per-iteration expansion keeps priority/pruning semantics:
+        both settings must land on a feasible plan no worse than the
+        all-fastest uniform seed."""
+        serial = GenericSearch(max_evaluations=400, expand_per_iter=1).solve(problem)
+        batched = GenericSearch(max_evaluations=400, expand_per_iter=8).solve(problem)
+        assert serial.feasible_found and batched.feasible_found
+        fastest = VectorizedBackend().evaluate(
+            problem, PlanState.uniform(problem.num_tasks, problem.num_types - 1)
+        )
+        assert serial.best_eval.cost <= fastest.cost + 1e-12
+        assert batched.best_eval.cost <= fastest.cost + 1e-12
+
+    def test_cache_counters_on_result(self, problem):
+        from repro.solver.cache import MakespanCache
+
+        backend = VectorizedBackend(cache=MakespanCache())
+        search = GenericSearch(backend=backend, max_evaluations=60)
+        cold = search.solve(problem)
+        assert cold.cache_misses > 0
+        # Re-solving a with_deadline derivation reuses makespan rows.
+        warm = search.solve(problem.with_deadline(problem.deadline * 2.0))
+        assert warm.cache_hits > 0
+        # Without a cache the counters stay zero.
+        plain = GenericSearch(max_evaluations=60).solve(problem)
+        assert plain.cache_hits == 0 and plain.cache_misses == 0
+        with pytest.raises(SolverError):
             GenericSearch(max_evaluations=0)
 
     def test_impossible_deadline_reports_infeasible(self, catalog, runtime_model):
@@ -139,3 +168,17 @@ class TestAStar:
     def test_invalid_max_expansions(self):
         with pytest.raises(SolverError):
             AStarSearch(max_expansions=0)
+
+    def test_budget_exhaustion_reports_pushed_goal(self):
+        """Regression: ``found_goal`` used to be frozen at
+        ``is_goal(initial)`` when the expansion budget ran out, even if a
+        goal state had been pushed (and tracked as best) but not popped."""
+        result = AStarSearch(max_expansions=1).solve(
+            initial=0,
+            neighbors=lambda s: [1] if s == 0 else [],
+            g_score=lambda s: 0.0 if s == 1 else 1.0,
+            h_score=lambda s: 0.0,
+            is_goal=lambda s: s == 1,
+        )
+        assert result.best_state == 1
+        assert result.found_goal
