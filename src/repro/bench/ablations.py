@@ -12,7 +12,7 @@ from repro.bench.harness import BenchConfig
 from repro.engine.ensemble import EnsembleDriver
 from repro.solver.backends import CompiledProblem, VectorizedBackend
 from repro.solver.search import AStarSearch, GenericSearch
-from repro.workflow.generators import montage, ligo
+from repro.workflow.generators import montage
 
 __all__ = [
     "ablation_probabilistic_vs_deterministic",
@@ -104,7 +104,6 @@ def ablation_astar_pruning(config: BenchConfig | None = None) -> list[dict]:
     """A* (admissible potential heuristic) vs uninformed search (h = 0)
     on ensemble admission: expanded-state counts for the same optimum."""
     from repro.bench.fig09 import build_bench_ensemble
-    from repro.workflow.ensembles import Ensemble
 
     config = config or BenchConfig()
     base = build_bench_ensemble("uniform_unsorted", config)

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from repro.baselines.spss import spss_decide
 from repro.bench.harness import BenchConfig, is_full_profile
-from repro.engine.deco import Deco
 from repro.engine.ensemble import EnsembleDriver
 from repro.solver.backends import CompiledProblem, VectorizedBackend
 from repro.workflow.ensembles import ENSEMBLE_TYPES, Ensemble, make_ensemble

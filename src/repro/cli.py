@@ -7,72 +7,84 @@ Usage::
     python -m repro run all
     python -m repro schedule --app montage --degrees 1 --deadline medium \
         --percentile 96
+    python -m repro schedule --dax workflow.xml --deadline 36000
+    python -m repro lint program.wlog [--format json] [--strict]
+    python -m repro lint --bundled
     python -m repro calibrate
 
 ``run`` regenerates a paper table/figure through the same drivers the
-benchmark harness uses and prints the table; ``schedule`` runs one
-Deco optimization and prints the plan; ``calibrate`` reproduces Table 2.
+benchmark harness uses and prints the table; ``schedule`` runs one Deco
+optimization and prints the plan; ``lint`` runs the WLog static
+analyzer (:mod:`repro.wlog.analysis`) over program files or the bundled
+templates; ``calibrate`` reproduces Table 2.
+
+Exit codes: 0 success, 1 infeasible plan / lint findings, 2 usage error
+(unknown experiment, unreadable file, bad argument).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-from typing import Callable, Sequence
+from pathlib import Path
+from typing import Sequence
 
-from repro.bench import (
-    BenchConfig,
-    ablation_astar_pruning,
-    ablation_mc_iterations,
-    ablation_probabilistic_vs_deterministic,
-    ablation_search_seeds,
-    fig01_instance_configs,
-    fig02_runtime_variance,
-    fig06_network_dynamics,
-    fig07_network_histograms,
-    fig08_probabilistic_deadline_sweep,
-    fig09_ensemble_scores,
-    fig10_follow_the_cost,
-    fig11_deadline_sensitivity,
-    format_table,
-    optimization_overhead,
-    solver_speedup,
-    table2_io_distributions,
-)
+from repro.common.errors import DecoError
 
 __all__ = ["main", "EXPERIMENTS"]
 
-
-def _run_fig06(config: BenchConfig) -> list[dict]:
-    return [fig06_network_dynamics(config)]
-
-
-def _run_fig10(config: BenchConfig) -> list[dict]:
-    out = fig10_follow_the_cost(config)
-    return out["by_size"] + out["by_threshold"]
-
-
-#: Experiment id -> (driver, title).  Ids mirror the paper's numbering.
-EXPERIMENTS: dict[str, tuple[Callable[[BenchConfig], list[dict]], str]] = {
-    "fig01": (fig01_instance_configs, "Figure 1: Montage cost per configuration"),
-    "fig02": (fig02_runtime_variance, "Figure 2: normalized makespan quantiles"),
-    "table2": (table2_io_distributions, "Table 2: I/O performance distributions"),
-    "fig06": (_run_fig06, "Figure 6: m1.medium network dynamics"),
-    "fig07": (fig07_network_histograms, "Figure 7: pairwise link histograms"),
-    "fig08": (fig08_probabilistic_deadline_sweep, "Figure 8: probabilistic deadline sweep"),
-    "fig09": (fig09_ensemble_scores, "Figure 9: ensemble scores (Deco vs SPSS)"),
-    "fig10": (_run_fig10, "Figure 10: follow-the-cost"),
-    "fig11": (fig11_deadline_sensitivity, "Figure 11: deadline sensitivity"),
-    "speedup": (solver_speedup, "Solver speedup: vectorized vs scalar"),
-    "overhead": (optimization_overhead, "Optimization overhead per task"),
-    "ablation-prob": (
-        ablation_probabilistic_vs_deterministic,
-        "Ablation: probabilistic vs deterministic",
-    ),
-    "ablation-mc": (ablation_mc_iterations, "Ablation: Monte Carlo iterations"),
-    "ablation-astar": (ablation_astar_pruning, "Ablation: A* pruning"),
-    "ablation-seeds": (ablation_search_seeds, "Ablation: warm-start seeds"),
+#: Experiment id -> title.  Ids mirror the paper's numbering; drivers
+#: live in :mod:`repro.bench` and are imported lazily so `repro lint`
+#: and `repro schedule` do not pay the benchmark-harness import cost.
+EXPERIMENTS: dict[str, str] = {
+    "fig01": "Figure 1: Montage cost per configuration",
+    "fig02": "Figure 2: normalized makespan quantiles",
+    "table2": "Table 2: I/O performance distributions",
+    "fig06": "Figure 6: m1.medium network dynamics",
+    "fig07": "Figure 7: pairwise link histograms",
+    "fig08": "Figure 8: probabilistic deadline sweep",
+    "fig09": "Figure 9: ensemble scores (Deco vs SPSS)",
+    "fig10": "Figure 10: follow-the-cost",
+    "fig11": "Figure 11: deadline sensitivity",
+    "speedup": "Solver speedup: vectorized vs scalar",
+    "overhead": "Optimization overhead per task",
+    "ablation-prob": "Ablation: probabilistic vs deterministic",
+    "ablation-mc": "Ablation: Monte Carlo iterations",
+    "ablation-astar": "Ablation: A* pruning",
+    "ablation-seeds": "Ablation: warm-start seeds",
 }
+
+
+def _experiment_driver(name: str):
+    """Resolve an experiment id to its driver (imports the harness)."""
+    from repro import bench
+
+    def run_fig06(config):
+        return [bench.fig06_network_dynamics(config)]
+
+    def run_fig10(config):
+        out = bench.fig10_follow_the_cost(config)
+        return out["by_size"] + out["by_threshold"]
+
+    drivers = {
+        "fig01": bench.fig01_instance_configs,
+        "fig02": bench.fig02_runtime_variance,
+        "table2": bench.table2_io_distributions,
+        "fig06": run_fig06,
+        "fig07": bench.fig07_network_histograms,
+        "fig08": bench.fig08_probabilistic_deadline_sweep,
+        "fig09": bench.fig09_ensemble_scores,
+        "fig10": run_fig10,
+        "fig11": bench.fig11_deadline_sensitivity,
+        "speedup": bench.solver_speedup,
+        "overhead": bench.optimization_overhead,
+        "ablation-prob": bench.ablation_probabilistic_vs_deterministic,
+        "ablation-mc": bench.ablation_mc_iterations,
+        "ablation-astar": bench.ablation_astar_pruning,
+        "ablation-seeds": bench.ablation_search_seeds,
+    }
+    return drivers[name]
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,7 +97,7 @@ def _build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list available experiments")
 
     run = sub.add_parser("run", help="regenerate a paper table/figure")
-    run.add_argument("experiment", choices=[*EXPERIMENTS, "all"])
+    run.add_argument("experiment", help="experiment id (see 'repro list') or 'all'")
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--samples", type=int, default=100, help="Monte Carlo samples per state")
     run.add_argument("--evals", type=int, default=800, help="search evaluation budget")
@@ -94,6 +106,8 @@ def _build_parser() -> argparse.ArgumentParser:
     sched = sub.add_parser("schedule", help="optimize one workflow with Deco")
     sched.add_argument("--app", choices=("montage", "ligo", "epigenomics", "cybershake"),
                        default="montage")
+    sched.add_argument("--dax", default=None, metavar="PATH",
+                       help="schedule a DAX workflow file instead of a generated --app")
     sched.add_argument("--degrees", type=float, default=1.0, help="montage mosaic size")
     sched.add_argument("--tasks", type=int, default=100, help="task count for non-montage apps")
     sched.add_argument("--deadline", default="medium",
@@ -105,11 +119,31 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
 
+    lint = sub.add_parser("lint", help="statically analyze WLog program files")
+    lint.add_argument("files", nargs="*", metavar="FILE",
+                      help="WLog program files ('-' for stdin)")
+    lint.add_argument("--bundled", action="store_true",
+                      help="lint the bundled library templates instead of files")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      help="diagnostic output format")
+    lint.add_argument("--strict", action="store_true",
+                      help="treat warnings as errors for the exit code")
+    lint.add_argument("--assume", action="append", default=[], metavar="PRED/ARITY",
+                      help="declare an externally-supplied fact family "
+                           "(repeatable, e.g. --assume wscore/2)")
+
     sub.add_parser("calibrate", help="run the calibration campaign (Table 2)")
     return parser
 
 
-def _config(args) -> BenchConfig:
+def _usage_error(out, message: str) -> int:
+    print(f"error: {message}", file=out)
+    return 2
+
+
+def _config(args):
+    from repro.bench import BenchConfig
+
     return BenchConfig(
         seed=args.seed,
         num_samples=args.samples,
@@ -120,18 +154,25 @@ def _config(args) -> BenchConfig:
 
 def _cmd_list(out) -> int:
     width = max(len(k) for k in EXPERIMENTS)
-    for key, (_, title) in EXPERIMENTS.items():
+    for key, title in EXPERIMENTS.items():
         print(f"  {key.ljust(width)}  {title}", file=out)
     return 0
 
 
 def _cmd_run(args, out) -> int:
+    if args.experiment != "all" and args.experiment not in EXPERIMENTS:
+        return _usage_error(
+            out,
+            f"unknown experiment {args.experiment!r}; "
+            f"run 'repro list' to see the available ids",
+        )
+    from repro.bench import format_table
+
     config = _config(args)
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
-        driver, title = EXPERIMENTS[name]
-        rows = driver(config)
-        print(format_table(rows, title), file=out)
+        rows = _experiment_driver(name)(config)
+        print(format_table(rows, EXPERIMENTS[name]), file=out)
         print(file=out)
     return 0
 
@@ -140,10 +181,21 @@ def _cmd_schedule(args, out) -> int:
     from repro.cloud import CloudSimulator, ec2_catalog
     from repro.common.rng import RngService
     from repro.engine import Deco
-    from repro.workflow import generators
+    from repro.workflow import generators, parse_dax
+
+    if not 0 < args.percentile <= 100:
+        return _usage_error(out, f"--percentile must be in (0, 100], got {args.percentile:g}")
 
     catalog = ec2_catalog()
-    if args.app == "montage":
+    if args.dax is not None:
+        path = Path(args.dax)
+        if not path.is_file():
+            return _usage_error(out, f"DAX file not found: {path}")
+        try:
+            workflow = parse_dax(path)
+        except (DecoError, OSError, ValueError) as exc:
+            return _usage_error(out, f"cannot parse DAX file {path}: {exc}")
+    elif args.app == "montage":
         workflow = generators.montage(degrees=args.degrees, seed=args.seed)
     else:
         workflow = getattr(generators, args.app)(num_tasks=args.tasks, seed=args.seed)
@@ -154,6 +206,10 @@ def _cmd_schedule(args, out) -> int:
         deadline: float | str = float(args.deadline)
     except ValueError:
         deadline = args.deadline
+        if deadline not in ("tight", "medium", "loose"):
+            return _usage_error(
+                out, f"--deadline must be tight|medium|loose or seconds, got {deadline!r}"
+            )
     plan = deco.schedule(workflow, deadline, deadline_percentile=args.percentile)
 
     print(f"workflow:        {workflow.name} ({len(workflow)} tasks)", file=out)
@@ -174,7 +230,84 @@ def _cmd_schedule(args, out) -> int:
     return 0 if plan.feasible else 1
 
 
+def _parse_assumes(specs: list[str], out) -> set[tuple[str, int]] | int:
+    assumes: set[tuple[str, int]] = set()
+    for spec in specs:
+        name, sep, arity = spec.partition("/")
+        if not sep or not name or not arity.isdigit():
+            return _usage_error(out, f"--assume expects PRED/ARITY, got {spec!r}")
+        assumes.add((name, int(arity)))
+    return assumes
+
+
+def _cmd_lint(args, out) -> int:
+    from repro.common.errors import WLogError, WLogSyntaxError
+    from repro.wlog.analysis import analyze_program
+    from repro.wlog.diagnostics import Diagnostic, Span, render_diagnostic
+    from repro.wlog.library import bundled_programs
+
+    assumes = _parse_assumes(args.assume, out)
+    if isinstance(assumes, int):
+        return assumes
+
+    targets: list[tuple[str, str, set[tuple[str, int]]]] = []
+    if args.bundled:
+        for name, (source, extra) in bundled_programs().items():
+            targets.append((f"<bundled:{name}>", source, set(extra) | assumes))
+    if args.files and args.bundled:
+        return _usage_error(out, "pass either FILE arguments or --bundled, not both")
+    if not args.files and not args.bundled:
+        return _usage_error(out, "nothing to lint: pass WLog files or --bundled")
+    for file in args.files:
+        if file == "-":
+            targets.append(("<stdin>", sys.stdin.read(), set(assumes)))
+            continue
+        path = Path(file)
+        if not path.is_file():
+            return _usage_error(out, f"no such file: {path}")
+        try:
+            targets.append((str(path), path.read_text(), set(assumes)))
+        except (OSError, UnicodeDecodeError) as exc:
+            return _usage_error(out, f"cannot read {path}: {exc}")
+
+    total_errors = 0
+    total_warnings = 0
+    json_out: list[dict] = []
+    for filename, source, extra in targets:
+        try:
+            diagnostics = analyze_program(source, extra_predicates=extra)
+        except WLogSyntaxError as exc:
+            span = Span(exc.line, exc.column) if exc.line else None
+            diagnostics = [
+                Diagnostic("E101", "error", exc.base_message, span=span)
+            ]
+        except WLogError as exc:
+            diagnostics = [Diagnostic("E101", "error", str(exc))]
+        for diag in diagnostics:
+            promoted = diag.is_error or args.strict
+            total_errors += 1 if promoted else 0
+            total_warnings += 0 if promoted else 1
+            if args.format == "json":
+                json_out.append({"file": filename, **diag.to_dict()})
+            else:
+                print(render_diagnostic(diag, source, filename), file=out)
+
+    if args.format == "json":
+        print(json.dumps(json_out, indent=2), file=out)
+    else:
+        checked = len(targets)
+        noun = "program" if checked == 1 else "programs"
+        print(
+            f"{checked} {noun} checked: {total_errors} error(s), "
+            f"{total_warnings} warning(s)",
+            file=out,
+        )
+    return 1 if total_errors else 0
+
+
 def _cmd_calibrate(out) -> int:
+    from repro.bench import BenchConfig, format_table, table2_io_distributions
+
     config = BenchConfig()
     print(format_table(table2_io_distributions(config),
                        "Table 2: I/O performance distributions"), file=out)
@@ -185,12 +318,19 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     """Entry point; returns the process exit code."""
     out = out or sys.stdout
     args = _build_parser().parse_args(argv)
-    if args.command == "list":
-        return _cmd_list(out)
-    if args.command == "run":
-        return _cmd_run(args, out)
-    if args.command == "schedule":
-        return _cmd_schedule(args, out)
-    if args.command == "calibrate":
-        return _cmd_calibrate(out)
+    try:
+        if args.command == "list":
+            return _cmd_list(out)
+        if args.command == "run":
+            return _cmd_run(args, out)
+        if args.command == "schedule":
+            return _cmd_schedule(args, out)
+        if args.command == "lint":
+            return _cmd_lint(args, out)
+        if args.command == "calibrate":
+            return _cmd_calibrate(out)
+    except DecoError as exc:
+        first_line = str(exc).splitlines()[0] if str(exc) else type(exc).__name__
+        print(f"error: {first_line}", file=out)
+        return 2
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -13,7 +13,7 @@ the Singapore premium on m1.small is the 33% quoted in Section 3.3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping
 
 from repro.common.errors import ValidationError

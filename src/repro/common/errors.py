@@ -9,6 +9,24 @@ from engine failures (infeasible optimizations).
 from __future__ import annotations
 
 
+def format_source_context(source: str, line: int, column: int, end_column: int = 0) -> str:
+    """Render a source line with a ``^`` caret marking ``line:column``.
+
+    Shared by :class:`WLogSyntaxError` and the static-analysis
+    diagnostics renderer (:mod:`repro.wlog.diagnostics`) so parse errors
+    and lint findings point at programs the same way.  Columns are
+    1-based; ``end_column`` (exclusive) widens the caret to underline a
+    whole token.  Returns ``""`` when the position is out of range.
+    """
+    lines = source.splitlines()
+    if not (1 <= line <= len(lines)):
+        return ""
+    text = lines[line - 1].expandtabs(1)
+    col = max(1, min(column, len(text) + 1))
+    width = max(1, end_column - col) if end_column > col else 1
+    return f"    {text}\n    {' ' * (col - 1)}{'^' * width}"
+
+
 class DecoError(Exception):
     """Base class for every exception raised by :mod:`repro`."""
 
@@ -35,11 +53,30 @@ class WLogSyntaxError(WLogError):
     Carries the source position to make programs debuggable.
     """
 
-    def __init__(self, message: str, line: int = 0, column: int = 0):
+    def __init__(self, message: str, line: int = 0, column: int = 0, source: str | None = None):
         self.line = line
         self.column = column
+        self.base_message = message
         if line:
             message = f"{message} (line {line}, column {column})"
+            if source:
+                excerpt = format_source_context(source, line, column)
+                if excerpt:
+                    message = f"{message}\n{excerpt}"
+        super().__init__(message)
+
+
+class WLogAnalysisError(WLogError):
+    """A WLog program was rejected by the static analyzer.
+
+    Carries the :class:`~repro.wlog.diagnostics.Diagnostic` records that
+    triggered the rejection in :attr:`diagnostics`, so callers (CLI,
+    services) can render them with source context instead of a bare
+    message.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        self.diagnostics = tuple(diagnostics)
         super().__init__(message)
 
 

@@ -24,6 +24,7 @@ from repro.solver.backends import CompiledProblem, get_backend
 from repro.solver.cache import MakespanCache
 from repro.solver.search import GenericSearch
 from repro.solver.state import PlanState
+from repro.wlog.analysis import check_program
 from repro.wlog.imports import ImportRegistry
 from repro.wlog.library import scheduling_program
 from repro.wlog.probir import translate
@@ -159,14 +160,23 @@ class Deco:
         source_or_program: str | WLogProgram,
         registry: ImportRegistry,
         region: str | None = None,
+        strict: bool = False,
     ) -> ProvisioningPlan:
-        """Solve a WLog scheduling program (the paper's Example 1 shape)."""
+        """Solve a WLog scheduling program (the paper's Example 1 shape).
+
+        The program is statically analyzed first: error-level
+        diagnostics (undefined predicates, malformed requirements,
+        unsafe negation...) raise
+        :class:`~repro.common.errors.WLogAnalysisError` before any IR
+        translation; ``strict=True`` rejects warnings too.
+        """
         program = (
             WLogProgram.from_source(source_or_program)
             if isinstance(source_or_program, str)
             else source_or_program
         )
         program.validate_for_solving()
+        check_program(program, registry=registry, strict=strict)
         ir = translate(program, registry)
         problem = compile_or_raise(ir, num_samples=self.num_samples, seed=self.seed, region=region)
         return self._solve(problem, seeds=self._warm_starts(problem))

@@ -24,9 +24,13 @@ Layering (bottom-up):
 * :mod:`~repro.wlog.probir` -- the probabilistic IR and Monte Carlo
   query evaluation (the paper's Algorithm 1);
 * :mod:`~repro.wlog.library` -- ready-made WLog programs for the three
-  use cases (Example 1 and the technical-report appendix programs).
+  use cases (Example 1 and the technical-report appendix programs);
+* :mod:`~repro.wlog.diagnostics` / :mod:`~repro.wlog.analysis` -- the
+  static analyzer: structured diagnostics with source spans, surfaced
+  through ``repro lint`` and the engine's fail-fast gate.
 """
 
+from repro.common.errors import WLogAnalysisError
 from repro.wlog.terms import Atom, Num, Struct, Var, Term, Rule, make_list, from_python, to_python
 from repro.wlog.parser import parse_program, parse_term, parse_query
 from repro.wlog.engine import Database, Engine
@@ -34,6 +38,8 @@ from repro.wlog.program import WLogProgram, Directive, GoalSpec, ConsSpec, VarSp
 from repro.wlog.imports import ImportRegistry
 from repro.wlog.probir import ProbabilisticIR, ProbFact, translate
 from repro.wlog.pretty import format_program, format_rule, format_term
+from repro.wlog.diagnostics import Diagnostic, Span, render_diagnostics
+from repro.wlog.analysis import analyze_program, check_program
 
 __all__ = [
     "Atom",
@@ -62,4 +68,10 @@ __all__ = [
     "format_program",
     "format_rule",
     "format_term",
+    "Diagnostic",
+    "Span",
+    "render_diagnostics",
+    "analyze_program",
+    "check_program",
+    "WLogAnalysisError",
 ]

@@ -15,7 +15,6 @@ from typing import TYPE_CHECKING, Callable, Iterator
 
 from repro.common.errors import WLogRuntimeError
 from repro.wlog.terms import (
-    NIL,
     Atom,
     Num,
     Struct,
@@ -30,11 +29,20 @@ from repro.wlog.unify import Bindings, resolve, unify
 if TYPE_CHECKING:  # pragma: no cover
     from repro.wlog.engine import Engine
 
-__all__ = ["BUILTINS", "evaluate_arith", "term_key"]
+__all__ = ["BUILTINS", "builtin_arities", "evaluate_arith", "term_key"]
 
 BuiltinFn = Callable[["Engine", tuple[Term, ...], Bindings, int], Iterator[bool]]
 
 BUILTINS: dict[tuple[str, int], BuiltinFn] = {}
+
+
+def builtin_arities(name: str) -> tuple[int, ...]:
+    """The arities the built-in ``name`` is registered at (may be empty).
+
+    Used by the static analyzer to distinguish an undefined predicate
+    from a wrong-arity call to a known built-in.
+    """
+    return tuple(sorted(a for (n, a) in BUILTINS if n == name))
 
 
 def _builtin(name: str, arity: int):

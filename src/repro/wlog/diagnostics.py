@@ -1,0 +1,143 @@
+"""Structured diagnostics for WLog static analysis.
+
+A :class:`Diagnostic` is one finding of the analyzer in
+:mod:`repro.wlog.analysis`: a severity (``error`` or ``warning``), a
+stable check id (``E201``), the check's kebab-case name
+(``undefined-predicate``), a human message, and an optional
+:class:`Span` locating the finding in the source text.
+
+Rendering is shared with the parser's error path:
+:func:`render_diagnostic` uses the same caret-excerpt helper
+(:func:`repro.common.errors.format_source_context`) that
+:class:`~repro.common.errors.WLogSyntaxError` uses, so lint findings
+and syntax errors point at programs identically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import format_source_context
+
+__all__ = [
+    "Span",
+    "Diagnostic",
+    "CHECKS",
+    "ERROR",
+    "WARNING",
+    "render_diagnostic",
+    "render_diagnostics",
+]
+
+ERROR = "error"
+WARNING = "warning"
+
+#: The check catalog: id -> (name, default severity, one-line description).
+CHECKS: dict[str, tuple[str, str, str]] = {
+    "E101": ("syntax-error", ERROR, "the source text could not be tokenized or parsed"),
+    "E201": ("undefined-predicate", ERROR, "a called predicate is neither defined, built-in, imported nor declared"),
+    "E202": ("arity-mismatch", ERROR, "a predicate is called with an arity no definition or built-in accepts"),
+    "E203": ("bad-requirement", ERROR, "a cons requirement is not a well-formed deadline/2 or budget/2"),
+    "E204": ("malformed-directive", ERROR, "an import/enabled form does not take a plain atom argument"),
+    "E205": ("unbound-arithmetic", ERROR, "a variable is unbound at its first use inside is/2 or a comparison"),
+    "E206": ("unsafe-negation", ERROR, "a variable occurs free under \\+ (negation as failure cannot bind it)"),
+    "E207": ("non-stratified", ERROR, "negation cycle: a predicate depends on its own negation"),
+    "E208": ("duplicate-directive", ERROR, "the program declares more than one goal or var directive"),
+    "E209": ("detached-objective", ERROR, "the goal/cons variable does not occur in its measured predicate"),
+    "E210": ("unknown-import", ERROR, "an import names a source not present in the registry"),
+    "W301": ("singleton-variable", WARNING, "a named variable occurs exactly once in its clause"),
+    "W302": ("unknown-hint", WARNING, "enabled(...) names a solver hint the engine does not know"),
+    "W303": ("duplicate-rule", WARNING, "a rule repeats an earlier rule up to variable renaming"),
+    "W304": ("unreachable-rule", WARNING, "a rule's predicate is not reachable from any directive"),
+    "W305": ("builtin-shadow", WARNING, "a rule defines a built-in predicate and will never be selected"),
+    "W306": ("suspicious-percentile", WARNING, "a requirement level <= 1 looks like a fraction, not a percent"),
+    "W307": ("misspelled-directive", WARNING, "a fact looks like a misspelled import/enabled directive"),
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    """A half-open source region; positions are 1-based, end exclusive."""
+
+    line: int
+    column: int
+    end_line: int = 0
+    end_column: int = 0
+
+    def __str__(self) -> str:
+        return f"{self.line}:{self.column}"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    check: str  # stable id, e.g. "E201"
+    severity: str  # "error" | "warning"
+    message: str
+    span: Span | None = None
+
+    @property
+    def name(self) -> str:
+        """The check's kebab-case name, e.g. ``undefined-predicate``."""
+        return CHECKS[self.check][0] if self.check in CHECKS else self.check
+
+    @property
+    def is_error(self) -> bool:
+        return self.severity == ERROR
+
+    def sort_key(self) -> tuple:
+        span = self.span or Span(0, 0)
+        return (span.line, span.column, self.check, self.message)
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (used by ``repro lint --format=json``)."""
+        out: dict = {
+            "check": self.check,
+            "name": self.name,
+            "severity": self.severity,
+            "message": self.message,
+        }
+        if self.span is not None:
+            out["line"] = self.span.line
+            out["column"] = self.span.column
+            if self.span.end_column:
+                out["end_line"] = self.span.end_line
+                out["end_column"] = self.span.end_column
+        return out
+
+    def __str__(self) -> str:
+        where = f"{self.span}: " if self.span else ""
+        return f"{where}{self.severity}[{self.check} {self.name}] {self.message}"
+
+
+def make(check: str, message: str, span: Span | None = None, severity: str | None = None) -> Diagnostic:
+    """Build a diagnostic for a cataloged check (severity defaulted)."""
+    if severity is None:
+        severity = CHECKS[check][1]
+    return Diagnostic(check=check, severity=severity, message=message, span=span)
+
+
+def render_diagnostic(diag: Diagnostic, source: str | None = None, filename: str = "<program>") -> str:
+    """One finding as text, with a caret-underlined source excerpt."""
+    if diag.span is not None:
+        head = f"{filename}:{diag.span.line}:{diag.span.column}: " \
+               f"{diag.severity}[{diag.check} {diag.name}] {diag.message}"
+        if source:
+            excerpt = format_source_context(
+                source, diag.span.line, diag.span.column,
+                diag.span.end_column if diag.span.end_line == diag.span.line else 0,
+            )
+            if excerpt:
+                return f"{head}\n{excerpt}"
+        return head
+    return f"{filename}: {diag.severity}[{diag.check} {diag.name}] {diag.message}"
+
+
+def render_diagnostics(
+    diagnostics: list[Diagnostic] | tuple[Diagnostic, ...],
+    source: str | None = None,
+    filename: str = "<program>",
+) -> str:
+    """All findings as text, one block per finding."""
+    return "\n".join(render_diagnostic(d, source, filename) for d in diagnostics)

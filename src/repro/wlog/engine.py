@@ -10,7 +10,7 @@ back into this engine with sampled-fact databases.
 from __future__ import annotations
 
 import itertools
-from typing import Iterable, Iterator, Mapping
+from typing import Iterable, Iterator
 
 from repro.common.errors import WLogRuntimeError
 from repro.wlog.builtins import BUILTINS

@@ -27,10 +27,40 @@ from repro.wlog.terms import Atom, Num, Rule, Struct, Var
 from repro.workflow.dag import Workflow
 from repro.workflow.runtime_model import RuntimeModel
 
-__all__ = ["ImportRegistry", "vm_atom", "MaterializedImports", "ProbFactSpec"]
+__all__ = [
+    "ImportRegistry",
+    "vm_atom",
+    "MaterializedImports",
+    "ProbFactSpec",
+    "WORKFLOW_FACT_INDICATORS",
+    "CLOUD_FACT_INDICATORS",
+    "JOINT_FACT_INDICATORS",
+]
 
 ROOT = Atom("root")
 TAIL = Atom("tail")
+
+#: Fact families a workflow import (``import(montage)``) materializes.
+WORKFLOW_FACT_INDICATORS: frozenset[tuple[str, int]] = frozenset({("task", 1), ("edge", 2)})
+
+#: Fact families a cloud import (``import(amazonec2)``) materializes.
+CLOUD_FACT_INDICATORS: frozenset[tuple[str, int]] = frozenset(
+    {
+        ("vm", 1),
+        ("price", 2),
+        ("cpu_speed", 2),
+        ("vcpus", 2),
+        ("mem", 2),
+        ("region", 1),
+        ("regionprice", 3),
+        ("bandwidth", 3),
+        ("netprice", 3),
+    }
+)
+
+#: Fact families that need both a workflow and a cloud import
+#: (probabilistic exetime facts plus the pre-configured virtual root).
+JOINT_FACT_INDICATORS: frozenset[tuple[str, int]] = frozenset({("exetime", 3), ("configs", 3)})
 
 
 def vm_atom(type_name: str) -> Atom:
@@ -82,6 +112,36 @@ class ImportRegistry:
     def register_cloud(self, name: str, catalog: Catalog, region: str | None = None) -> None:
         """Make ``import(name)`` expand to this catalog's facts."""
         self._clouds[name] = (catalog, region)
+
+    # Introspection (used by the static analyzer) --------------------------
+
+    def kind_of(self, name: str) -> str | None:
+        """``"workflow"`` / ``"cloud"`` for a registered name, else None."""
+        if name in self._workflows:
+            return "workflow"
+        if name in self._clouds:
+            return "cloud"
+        return None
+
+    def known_names(self) -> tuple[str, ...]:
+        """Every registered import name (workflows and clouds)."""
+        return tuple(sorted((*self._workflows, *self._clouds)))
+
+    def fact_indicators(self, imports: tuple[str, ...]) -> set[tuple[str, int]]:
+        """The fact families ``imports`` would materialize.
+
+        Unregistered names contribute nothing (the analyzer reports them
+        separately as unknown imports).
+        """
+        out: set[tuple[str, int]] = set()
+        kinds = {self.kind_of(name) for name in imports}
+        if "workflow" in kinds:
+            out |= WORKFLOW_FACT_INDICATORS
+        if "cloud" in kinds:
+            out |= CLOUD_FACT_INDICATORS
+        if "workflow" in kinds and "cloud" in kinds:
+            out |= JOINT_FACT_INDICATORS
+        return out
 
     def runtime_model_for(self, catalog: Catalog) -> RuntimeModel:
         if self._runtime_model is not None:

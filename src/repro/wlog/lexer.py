@@ -16,6 +16,7 @@ terminator ``.``), ``EOF``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NoReturn
 
 from repro.common.errors import WLogSyntaxError
 
@@ -70,8 +71,8 @@ def tokenize(text: str) -> list[Token]:
     i, line, col = 0, 1, 1
     n = len(text)
 
-    def error(msg: str):
-        raise WLogSyntaxError(msg, line, col)
+    def error(msg: str) -> NoReturn:
+        raise WLogSyntaxError(msg, line, col, source=text)
 
     while i < n:
         ch = text[i]

@@ -11,7 +11,34 @@ from __future__ import annotations
 
 from repro.common.errors import ValidationError
 
-__all__ = ["scheduling_program", "ensemble_program", "followcost_program"]
+__all__ = [
+    "scheduling_program",
+    "ensemble_program",
+    "followcost_program",
+    "ENSEMBLE_DRIVER_FACTS",
+    "FOLLOWCOST_DRIVER_FACTS",
+    "bundled_programs",
+]
+
+#: Fact families the ensemble driver asserts before solving
+#: :func:`ensemble_program` (see ``repro.engine.ensemble``).
+ENSEMBLE_DRIVER_FACTS: frozenset[tuple[str, int]] = frozenset(
+    {("workflow", 1), ("wscore", 2), ("wcost", 2), ("wfeasible", 1)}
+)
+
+#: Fact families the follow-the-cost driver asserts before solving
+#: :func:`followcost_program`.  ``region/1`` appears here too because
+#: this program has no cloud import; the driver supplies the regions.
+FOLLOWCOST_DRIVER_FACTS: frozenset[tuple[str, int]] = frozenset(
+    {
+        ("workflow", 1),
+        ("region", 1),
+        ("worigin", 2),
+        ("wruntime", 3),
+        ("wexeccost", 3),
+        ("wmigcost", 3),
+    }
+)
 
 
 def _fmt_seconds(seconds: float) -> str:
@@ -52,7 +79,7 @@ var configs(Tid, Vid, Con) forall task(Tid) and vm(Vid).
 path(X, Y, Y, Tp) :- edge(X, Y), exetime(X, Vid, T), configs(X, Vid, Con),
     Con == 1, Tp is T.
 /* calculate the time on the path from X to Y, with Z as the next hop for X */
-path(X, Y, Z, Tp) :- edge(X, Z), Z \\== Y, path(Z, Y, Z2, T1),
+path(X, Y, Z, Tp) :- edge(X, Z), Z \\== Y, path(Z, Y, _Z2, T1),
     exetime(X, Vid, T), configs(X, Vid, Con), Con == 1, Tp is T + T1.
 /* calculate the time on the critical path from root to tail */
 maxtime(Path, T) :- setof([Z, T1], path(root, tail, Z, T1), Set),
@@ -61,7 +88,7 @@ maxtime(Path, T) :- setof([Z, T1], path(root, tail, Z, T1), Set),
 cost(Tid, Vid, C) :- price(Vid, Up), exetime(Tid, Vid, T),
     configs(Tid, Vid, Con), C is T * Up * Con / 3600.
 /* calculate the total cost of all tasks */
-totalcost(Ct) :- findall(C, cost(Tid, Vid, C), Bag), sum(Bag, Ct).
+totalcost(Ct) :- findall(C, cost(_Tid, _Vid, C), Bag), sum(Bag, Ct).
 """
 
 
@@ -119,8 +146,22 @@ var wregion(W, R, Con) forall workflow(W) and region(R).
 placed(W, R) :- wregion(W, R, Con), Con == 1.
 wtotal(W, C) :- placed(W, R), wexeccost(W, R, Ce), wmigcost(W, R, Cm),
     C is Ce + Cm.
-totalcost(Ct) :- findall(C, wtotal(W, C), Bag), sum(Bag, Ct).
+totalcost(Ct) :- findall(C, wtotal(_W, C), Bag), sum(Bag, Ct).
 /* Eq. 10: every workflow's remaining time fits its deadline */
 ontime :- \\+ late.
 late :- placed(W, R), wruntime(W, R, T), T > {_fmt_seconds(deadline_seconds)}.
 """
+
+
+def bundled_programs() -> dict[str, tuple[str, frozenset[tuple[str, int]]]]:
+    """Every bundled template with the external facts its driver supplies.
+
+    Maps program name to ``(source, extra_predicates)`` so the linter
+    (``repro lint --bundled``) and CI can assert they all stay clean.
+    """
+    return {
+        "scheduling": (scheduling_program(), frozenset()),
+        "scheduling-astar": (scheduling_program(astar=True), frozenset()),
+        "ensemble": (ensemble_program(budget=100.0), ENSEMBLE_DRIVER_FACTS),
+        "followcost": (followcost_program(36_000.0), FOLLOWCOST_DRIVER_FACTS),
+    }

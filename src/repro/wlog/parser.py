@@ -18,7 +18,11 @@ arithmetic/comparison operators used by the paper's programs
 
 from __future__ import annotations
 
+import dataclasses
+from typing import NoReturn
+
 from repro.common.errors import WLogSyntaxError
+from repro.wlog.diagnostics import Span
 from repro.wlog.lexer import Token, tokenize
 from repro.wlog.program import ConsSpec, Directive, GoalSpec, VarSpec
 from repro.wlog.terms import NIL, Atom, Num, Rule, Struct, Term, Var, make_list
@@ -28,20 +32,30 @@ __all__ = ["parse_program", "parse_term", "parse_query", "ParsedProgram"]
 _COMPARISONS = ("==", "\\==", "=<", ">=", "=:=", "=\\=", "<", ">", "=")
 
 
-class ParsedProgram:
-    """The raw parse result: rules plus classified directives."""
+def _token_span(tok: Token, length: int = 1) -> Span:
+    return Span(tok.line, tok.column, tok.line, tok.column + length)
 
-    def __init__(self):
+
+class ParsedProgram:
+    """The raw parse result: rules plus classified directives.
+
+    ``source`` keeps the original text so diagnostics can render caret
+    excerpts; rules and directives carry their clause spans.
+    """
+
+    def __init__(self, source: str = ""):
         self.rules: list[Rule] = []
         self.directives: list[Directive] = []
+        self.source = source
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ParsedProgram(rules={len(self.rules)}, directives={len(self.directives)})"
 
 
 class _Parser:
-    def __init__(self, tokens: list[Token]):
+    def __init__(self, tokens: list[Token], source: str = ""):
         self.tokens = tokens
+        self.source = source
         self.pos = 0
 
     # Token helpers -----------------------------------------------------
@@ -50,9 +64,9 @@ class _Parser:
     def cur(self) -> Token:
         return self.tokens[self.pos]
 
-    def error(self, msg: str):
+    def error(self, msg: str) -> NoReturn:
         tok = self.cur
-        raise WLogSyntaxError(msg, tok.line, tok.column)
+        raise WLogSyntaxError(msg, tok.line, tok.column, source=self.source)
 
     def advance(self) -> Token:
         tok = self.cur
@@ -75,35 +89,45 @@ class _Parser:
     # Program -----------------------------------------------------------
 
     def parse_program(self) -> ParsedProgram:
-        out = ParsedProgram()
+        out = ParsedProgram(source=self.source)
         while not self.at("EOF"):
             self.parse_clause(out)
         return out
 
+    def _clause_span(self, start: Token) -> Span:
+        """Span from a clause's first token through its just-consumed END."""
+        end = self.tokens[self.pos - 1]
+        return Span(start.line, start.column, end.line, end.column + 1)
+
     def parse_clause(self, out: ParsedProgram) -> None:
+        start = self.cur
         if self.at_atom("goal"):
             self.advance()
-            out.directives.append(self.parse_goal_directive())
+            directive = self.parse_goal_directive()
         elif self.at_atom("cons"):
             self.advance()
-            out.directives.append(self.parse_cons_directive())
+            directive = self.parse_cons_directive()
         elif self.at_atom("var") and not self._looks_like_callable():
             self.advance()
-            out.directives.append(self.parse_var_directive())
+            directive = self.parse_var_directive()
         else:
             term = self.parse_goal_term()
             directive = self._classify_directive(term)
             if directive is not None and not self.at("PUNCT", ":-"):
-                out.directives.append(directive)
                 self.expect("END")
+                out.directives.append(
+                    dataclasses.replace(directive, span=self._clause_span(start))
+                )
                 return
             if self.at("PUNCT", ":-"):
                 self.advance()
-                body = self.parse_body()
-                out.rules.append(Rule(term, tuple(body)))
+                body = tuple(self.parse_body())
             else:
-                out.rules.append(Rule(term))
+                body = ()
             self.expect("END")
+            out.rules.append(Rule(term, body, span=self._clause_span(start)))
+            return
+        out.directives.append(dataclasses.replace(directive, span=self._clause_span(start)))
 
     def _looks_like_callable(self) -> bool:
         """Distinguish the ``var`` keyword from a predicate named var."""
@@ -180,19 +204,19 @@ class _Parser:
     def parse_goal_term(self) -> Term:
         """One body goal: expression, optionally joined by a comparison."""
         if self.at("PUNCT", "!"):
-            self.advance()
-            return Atom("!")
+            tok = self.advance()
+            return Atom("!", span=_token_span(tok))
         if self.at("PUNCT", "\\+"):
-            self.advance()
-            return Struct("\\+", (self.parse_goal_term(),))
+            tok = self.advance()
+            return Struct("\\+", (self.parse_goal_term(),), span=_token_span(tok, 2))
         left = self.parse_expression()
         if self.at_atom("is"):
-            self.advance()
-            return Struct("is", (left, self.parse_expression()))
+            tok = self.advance()
+            return Struct("is", (left, self.parse_expression()), span=_token_span(tok, 2))
         for op in _COMPARISONS:
             if self.at("PUNCT", op):
-                self.advance()
-                return Struct(op, (left, self.parse_expression()))
+                tok = self.advance()
+                return Struct(op, (left, self.parse_expression()), span=_token_span(tok, len(op)))
         return left
 
     # Expressions -------------------------------------------------------------
@@ -224,13 +248,15 @@ class _Parser:
             return Struct("-", (Num(0.0), inner))
         if tok.kind == "VAR":
             self.advance()
+            span = _token_span(tok, len(str(tok.value)))
             if tok.value == "_":
                 # Each underscore is a distinct anonymous variable.
-                return Var(f"_G{id(tok)}")
-            return Var(str(tok.value))
+                return Var(f"_G{id(tok)}", span=span)
+            return Var(str(tok.value), span=span)
         if tok.kind == "ATOM":
             self.advance()
             name = str(tok.value)
+            span = _token_span(tok, len(name))
             if self.at("PUNCT", "("):
                 self.advance()
                 args = [self.parse_goal_term()]
@@ -238,8 +264,8 @@ class _Parser:
                     self.advance()
                     args.append(self.parse_goal_term())
                 self.expect("PUNCT", ")")
-                return Struct(name, tuple(args))
-            return Atom(name)
+                return Struct(name, tuple(args), span=span)
+            return Atom(name, span=span)
         if tok.kind == "PUNCT" and tok.value == "(":
             self.advance()
             inner = self.parse_goal_term()
@@ -280,12 +306,12 @@ class _Parser:
 
 def parse_program(text: str) -> ParsedProgram:
     """Parse WLog source into rules + directives."""
-    return _Parser(tokenize(text)).parse_program()
+    return _Parser(tokenize(text), source=text).parse_program()
 
 
 def parse_term(text: str) -> Term:
     """Parse a single term (no trailing period required)."""
-    parser = _Parser(tokenize(text))
+    parser = _Parser(tokenize(text), source=text)
     term = parser.parse_goal_term()
     if not parser.at("EOF") and not parser.at("END"):
         parser.error(f"trailing input after term: {parser.cur.value!r}")
@@ -294,7 +320,7 @@ def parse_term(text: str) -> Term:
 
 def parse_query(text: str) -> list[Term]:
     """Parse a comma-separated conjunction of goals (no trailing period)."""
-    parser = _Parser(tokenize(text))
+    parser = _Parser(tokenize(text), source=text)
     goals = parser.parse_body()
     if not parser.at("EOF") and not parser.at("END"):
         parser.error(f"trailing input after query: {parser.cur.value!r}")

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from repro.common.errors import WLogError
 from repro.wlog.program import ConsSpec, GoalSpec, VarSpec, WLogProgram
-from repro.wlog.terms import NIL, Atom, Num, Rule, Struct, Term, Var, is_list, list_items
+from repro.wlog.terms import Atom, Num, Rule, Struct, Term, Var, is_list, list_items
 
 __all__ = ["format_term", "format_rule", "format_program"]
 

@@ -10,10 +10,13 @@ the ordinary Prolog rules.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.common.errors import WLogError
 from repro.wlog.terms import Atom, Rule, Struct, Term, Var
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wlog.diagnostics import Span
 
 __all__ = ["Directive", "GoalSpec", "ConsSpec", "VarSpec", "WLogProgram"]
 
@@ -71,10 +74,15 @@ class VarSpec:
 
 @dataclass(frozen=True)
 class Directive:
-    """A classified directive: kind in {import, enabled, goal, cons, var}."""
+    """A classified directive: kind in {import, enabled, goal, cons, var}.
+
+    ``span`` locates the directive in the source text when it came from
+    the parser; it never participates in equality.
+    """
 
     kind: str
     payload: object
+    span: Optional["Span"] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if self.kind not in ("import", "enabled", "goal", "cons", "var"):
@@ -101,6 +109,7 @@ class WLogProgram:
         source: str = "",
     ):
         self.rules: tuple[Rule, ...] = tuple(rules)
+        self.directives: tuple[Directive, ...] = tuple(directives)
         self.source = source
         self.imports: tuple[str, ...] = ()
         self.enabled: tuple[str, ...] = ()
@@ -111,7 +120,7 @@ class WLogProgram:
         imports: list[str] = []
         enabled: list[str] = []
         constraints: list[ConsSpec] = []
-        for d in directives:
+        for d in self.directives:
             if d.kind == "import":
                 imports.append(str(d.payload))
             elif d.kind == "enabled":

@@ -11,10 +11,13 @@ Terms are immutable and hashable; variable bindings live in a separate
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, Iterator
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from repro.common.errors import WLogRuntimeError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.wlog.diagnostics import Span
 
 __all__ = [
     "Term",
@@ -44,11 +47,14 @@ class Var(Term):
 
     ``ident`` distinguishes fresh renamings of the same source variable:
     the parser produces ``ident=0``; the engine's clause renaming bumps
-    it per activation.
+    it per activation.  ``span`` (when the term came from the parser)
+    locates the occurrence in the source text; it never participates in
+    equality or hashing.
     """
 
     name: str
     ident: int = 0
+    span: Optional["Span"] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return self.name if self.ident == 0 else f"{self.name}_{self.ident}"
@@ -59,6 +65,7 @@ class Atom(Term):
     """A constant symbol (Prolog atom), e.g. ``m1_small`` or ``[]``."""
 
     name: str
+    span: Optional["Span"] = field(default=None, compare=False, repr=False)
 
     def __repr__(self) -> str:
         return self.name
@@ -80,11 +87,12 @@ class Num(Term):
 class Struct(Term):
     """A compound term ``functor(arg1, ..., argN)``."""
 
-    __slots__ = ("functor", "args", "_hash")
+    __slots__ = ("functor", "args", "_hash", "span")
 
-    def __init__(self, functor: str, args: Iterable[Term]):
+    def __init__(self, functor: str, args: Iterable[Term], span: Optional["Span"] = None):
         self.functor = functor
         self.args = tuple(args)
+        self.span = span  # source position; excluded from eq/hash
         if not self.args:
             raise WLogRuntimeError(f"zero-arity Struct {functor!r}; use Atom instead")
         self._hash = hash((functor, self.args))
@@ -125,10 +133,16 @@ NIL = Atom("[]")
 
 @dataclass(frozen=True)
 class Rule:
-    """``head :- body.``; a fact is a rule with an empty body."""
+    """``head :- body.``; a fact is a rule with an empty body.
+
+    ``span`` covers the whole clause in the source text when the rule
+    came from the parser; it is ``None`` for rules built
+    programmatically and never participates in equality or hashing.
+    """
 
     head: Term
     body: tuple[Term, ...] = ()
+    span: Optional["Span"] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
         if not isinstance(self.head, (Atom, Struct)):

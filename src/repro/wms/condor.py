@@ -14,7 +14,7 @@ the queue validates that the dependency discipline was respected.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.common.errors import ValidationError
 from repro.workflow.dag import Workflow

@@ -9,7 +9,7 @@ ready for the execution engine.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Mapping
 
 from repro.common.errors import ValidationError

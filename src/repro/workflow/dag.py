@@ -9,7 +9,7 @@ XML (see :mod:`repro.workflow.dax`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, Mapping
 
 from repro.common.errors import ValidationError

@@ -17,7 +17,7 @@ The five ensemble types of the paper's evaluation control how member
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np

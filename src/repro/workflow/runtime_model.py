@@ -21,14 +21,14 @@ vectorized samples (for the Monte Carlo evaluator) and as a histogram
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import Sequence
 
 import numpy as np
 
 from repro.common.errors import ValidationError
 from repro.common.rng import spawn_rng
 from repro.distributions.histogram import Histogram
-from repro.cloud.instance_types import Catalog, InstanceType
+from repro.cloud.instance_types import Catalog
 from repro.workflow.dag import Task, Workflow
 
 __all__ = ["TaskComponents", "RuntimeModel"]

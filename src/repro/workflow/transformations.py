@@ -22,7 +22,7 @@ stage before execution.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
+from typing import Iterator
 
 from repro.common.errors import ValidationError
 from repro.cloud.instance_types import Catalog

@@ -7,7 +7,7 @@ from repro.cloud.simulator import CloudSimulator
 from repro.common.errors import ValidationError
 from repro.common.rng import RngService
 from repro.common.units import billed_hours
-from repro.workflow.generators import montage, pipeline
+from repro.workflow.generators import montage
 
 
 @pytest.fixture()

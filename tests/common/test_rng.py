@@ -1,7 +1,6 @@
 """Tests for the named random-stream service."""
 
 import numpy as np
-import pytest
 
 from repro.common.rng import RngService, spawn_rng
 

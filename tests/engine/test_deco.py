@@ -126,3 +126,40 @@ class TestDeclarativePath:
 
         prog = WLogProgram.from_source(deco.example1_source())
         prog.validate_for_solving()
+
+
+class TestStaticAnalysisGate:
+    """solve_program must reject bad programs before IR translation."""
+
+    def _registry(self, catalog, deco, wf):
+        reg = ImportRegistry(deco.runtime_model)
+        reg.register_cloud("amazonec2", catalog)
+        reg.register_workflow("montage", wf)
+        return reg
+
+    def test_undefined_predicate_rejected_with_diagnostics(self, catalog, deco, wf):
+        from repro.common.errors import WLogAnalysisError
+
+        reg = self._registry(catalog, deco, wf)
+        src = scheduling_program().replace("price(Vid, Up)", "prce(Vid, Up)")
+        with pytest.raises(WLogAnalysisError) as info:
+            deco.solve_program(src, reg)
+        assert any(d.check == "E201" for d in info.value.diagnostics)
+        assert "prce/2" in str(info.value)
+
+    def test_strict_rejects_warnings(self, catalog, deco, wf):
+        from repro.common.errors import WLogAnalysisError
+
+        reg = self._registry(catalog, deco, wf)
+        src = scheduling_program() + "orphan(X) :- task(X).\n"
+        with pytest.raises(WLogAnalysisError) as info:
+            deco.solve_program(src, reg, strict=True)
+        assert any(d.check == "W304" for d in info.value.diagnostics)
+
+    def test_clean_program_still_solves(self, catalog, deco, wf):
+        reg = self._registry(catalog, deco, wf)
+        d = deco.presets(wf).medium
+        plan = deco.solve_program(
+            scheduling_program(percentile=96, deadline_seconds=d), reg, strict=True
+        )
+        assert plan.feasible

@@ -5,7 +5,7 @@ import pytest
 from repro.common.errors import ValidationError
 from repro.engine.deco import Deco
 from repro.engine.ensemble import EnsembleDriver
-from repro.workflow.ensembles import Ensemble, EnsembleMember, make_ensemble
+from repro.workflow.ensembles import Ensemble, make_ensemble
 from repro.workflow.generators import montage
 
 

@@ -5,7 +5,6 @@ import pytest
 from repro.common.errors import ValidationError
 from repro.engine.followcost import FollowCostDriver, WorkflowDeployment
 from repro.workflow.generators import ligo, montage
-from repro.workflow.runtime_model import RuntimeModel
 
 
 @pytest.fixture(scope="module")

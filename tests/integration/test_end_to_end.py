@@ -14,7 +14,6 @@ from repro.common.rng import RngService
 from repro.engine.deco import Deco
 from repro.wlog.imports import ImportRegistry
 from repro.wlog.library import scheduling_program
-from repro.wms.mapper import Mapper
 from repro.wms.pegasus import PegasusLite
 from repro.wms.scheduler import DecoScheduler
 from repro.workflow.dax import parse_dax_string, to_dax_string

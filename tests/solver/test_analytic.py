@@ -6,7 +6,7 @@ import pytest
 from repro.common.errors import SolverError
 from repro.solver.analytic import analytic_deadline_probability, analytic_makespan
 from repro.solver.backends import CompiledProblem, VectorizedBackend
-from repro.workflow.dag import FileSpec, Task, Workflow
+from repro.workflow.dag import Task, Workflow
 from repro.workflow.generators import pipeline
 
 MB = 1_000_000

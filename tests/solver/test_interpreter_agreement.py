@@ -11,7 +11,6 @@ equivalence on a small pipeline workflow:
   Monte Carlo error.
 """
 
-import numpy as np
 import pytest
 
 from repro.engine.compiler import try_compile

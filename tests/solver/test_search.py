@@ -1,6 +1,5 @@
 """Tests for the generic (Algorithm 2) and A* searches."""
 
-import numpy as np
 import pytest
 
 from repro.common.errors import SolverError

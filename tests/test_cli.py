@@ -2,8 +2,6 @@
 
 import io
 
-import pytest
-
 from repro.cli import EXPERIMENTS, main
 
 
@@ -41,8 +39,10 @@ class TestRun:
         assert "speedup" in text
 
     def test_unknown_experiment_rejected(self):
-        with pytest.raises(SystemExit):
-            run_cli(["run", "fig99"])
+        code, text = run_cli(["run", "fig99"])
+        assert code == 2
+        assert "unknown experiment 'fig99'" in text
+        assert text.count("\n") == 1  # one-line error, not a traceback dump
 
 
 class TestSchedule:
@@ -77,6 +77,132 @@ class TestSchedule:
         )
         assert code == 0
         assert "measured (10 runs)" in text
+
+
+class TestScheduleValidation:
+    def test_missing_dax_path(self):
+        code, text = run_cli(["schedule", "--dax", "/no/such/file.xml"])
+        assert code == 2
+        assert "DAX file not found" in text
+
+    def test_unparsable_dax(self, tmp_path):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("this is not a dax file")
+        code, text = run_cli(["schedule", "--dax", str(bad)])
+        assert code == 2
+        assert "cannot parse DAX file" in text
+
+    def test_dax_schedule_runs(self, tmp_path):
+        from repro.workflow import generators, write_dax
+
+        wf = generators.montage(degrees=1.0, seed=7)
+        path = tmp_path / "montage.xml"
+        write_dax(wf, path)
+        code, text = run_cli(
+            ["schedule", "--dax", str(path), "--deadline", "100000",
+             "--samples", "40", "--evals", "100"]
+        )
+        assert code == 0
+        assert "instance mix" in text
+
+    def test_percentile_out_of_range(self):
+        code, text = run_cli(["schedule", "--percentile", "150"])
+        assert code == 2
+        assert "(0, 100]" in text
+
+    def test_bad_deadline_keyword(self):
+        code, text = run_cli(["schedule", "--deadline", "soonish"])
+        assert code == 2
+        assert "tight|medium|loose" in text
+
+
+class TestLint:
+    def test_bundled_programs_clean(self):
+        code, text = run_cli(["lint", "--bundled"])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_flags_bad_file(self, tmp_path):
+        prog = tmp_path / "bad.wlog"
+        prog.write_text(
+            "goal minimize C in totalcst(C).\n"
+            "var x(A, Con) forall item(A).\n"
+            "totalcost(C) :- item(C).\n"
+            "/* lint: assume item/1 */\n"
+        )
+        code, text = run_cli(["lint", str(prog)])
+        assert code == 1
+        assert "E201" in text and "totalcst/1" in text
+        assert "did you mean totalcost" in text
+        assert f"{prog}:1:20" in text
+        assert "^" in text  # caret excerpt rendered
+
+    def test_json_format(self, tmp_path):
+        import json
+
+        prog = tmp_path / "bad.wlog"
+        prog.write_text("goal minimize C in missing(C).\nvar x(A, Con) forall vm(A).\n")
+        code, text = run_cli(["lint", "--format", "json", str(prog)])
+        assert code == 1
+        findings = json.loads(text)
+        assert any(f["check"] == "E201" and f["line"] == 1 for f in findings)
+
+    def test_syntax_error_reported_as_diagnostic(self, tmp_path):
+        prog = tmp_path / "syn.wlog"
+        prog.write_text("f(a) g.\n")
+        code, text = run_cli(["lint", str(prog)])
+        assert code == 1
+        assert "E101" in text and ":1:6" in text
+
+    def test_strict_promotes_warnings(self, tmp_path):
+        prog = tmp_path / "warn.wlog"
+        prog.write_text(
+            "goal minimize C in total(C).\n"
+            "var x(A, Con) forall item(A).\n"
+            "total(C) :- item(C), item(Unused).\n"
+            "/* lint: assume item/1 */\n"
+        )
+        code, _ = run_cli(["lint", str(prog)])
+        assert code == 0
+        code, text = run_cli(["lint", "--strict", str(prog)])
+        assert code == 1
+        assert "W301" in text
+
+    def test_assume_flag(self, tmp_path):
+        prog = tmp_path / "driver.wlog"
+        prog.write_text(
+            "goal minimize C in total(C).\n"
+            "var x(A, Con) forall item(A).\n"
+            "total(C) :- item(C).\n"
+        )
+        code, text = run_cli(["lint", str(prog)])
+        assert code == 1  # item/1 unknown
+        code, text = run_cli(["lint", "--assume", "item/1", str(prog)])
+        assert code == 0
+
+    def test_missing_file(self):
+        code, text = run_cli(["lint", "/no/such/prog.wlog"])
+        assert code == 2
+        assert "no such file" in text
+
+    def test_bad_assume_spec(self):
+        code, text = run_cli(["lint", "--assume", "notanindicator", "--bundled"])
+        assert code == 2
+        assert "PRED/ARITY" in text
+
+    def test_no_targets(self):
+        code, text = run_cli(["lint"])
+        assert code == 2
+
+    def test_example_files_clean(self):
+        import pathlib
+
+        examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
+        examples = sorted(str(p) for p in examples_dir.glob("*.wlog"))
+        assert len(examples) == 3
+        code, text = run_cli(["lint", *examples])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in text
 
 
 class TestCalibrate:

@@ -163,3 +163,58 @@ class TestQueries:
 
     def test_single(self):
         assert len(parse_query("f(X)")) == 1
+
+
+class TestSyntaxErrorRendering:
+    def test_error_carries_position_and_excerpt(self):
+        with pytest.raises(WLogSyntaxError) as info:
+            parse_program("f(a) g.\n")
+        err = info.value
+        assert (err.line, err.column) == (1, 6)
+        assert err.base_message == "expected 'END', found 'g'"
+        text = str(err)
+        assert "(line 1, column 6)" in text
+        assert "f(a) g." in text
+        # The caret sits under the offending token.
+        excerpt_lines = text.splitlines()
+        assert excerpt_lines[-1].index("^") == excerpt_lines[-2].index("g")
+
+    def test_error_on_later_line(self):
+        with pytest.raises(WLogSyntaxError) as info:
+            parse_program("f(a).\ng(X) :- , h(X).\n")
+        err = info.value
+        assert err.line == 2
+        assert "g(X) :- , h(X)." in str(err)
+        assert "^" in str(err)
+
+    def test_lexer_error_renders_excerpt_too(self):
+        with pytest.raises(WLogSyntaxError) as info:
+            parse_program("f(a) @ g.\n")
+        assert "^" in str(info.value)
+        assert info.value.line == 1
+
+    def test_base_message_is_unadorned(self):
+        with pytest.raises(WLogSyntaxError) as info:
+            parse_program("goal Ct in totalcost(Ct).")
+        assert "line" not in info.value.base_message
+
+
+class TestSpans:
+    def test_rule_and_directive_spans(self):
+        p = parse_program("f(a).\ngoal minimize C in total(C).\n")
+        assert p.rules[0].span.line == 1
+        assert p.rules[0].span.column == 1
+        assert p.directives[0].span.line == 2
+
+    def test_goal_term_spans(self):
+        p = parse_program("f(X) :- g(X), X > 2.\n")
+        body = p.rules[0].body
+        assert body[0].span.line == 1
+        assert body[0].span.column == 9
+        assert body[1].span.column == 17  # the '>' token
+
+    def test_spans_do_not_affect_equality(self):
+        a = parse_term("f(X, atom)")
+        b = Struct("f", (Var("X"), Atom("atom")))
+        assert a == b
+        assert hash(a.args[1]) == hash(b.args[1])

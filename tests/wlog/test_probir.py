@@ -2,14 +2,13 @@
 
 import pytest
 
-from repro.common.errors import WLogError, WLogRuntimeError
+from repro.common.errors import WLogError
 from repro.wlog.imports import ImportRegistry, vm_atom
 from repro.wlog.library import scheduling_program
 from repro.wlog.probir import translate
 from repro.wlog.program import WLogProgram
 from repro.wlog.terms import Atom, Num, Rule, Struct
 from repro.workflow.generators import pipeline
-from repro.workflow.runtime_model import RuntimeModel
 
 
 @pytest.fixture()
