@@ -21,6 +21,10 @@ from repro.bench.fig08 import fig08_probabilistic_deadline_sweep
 from repro.bench.fig09 import fig09_ensemble_scores
 from repro.bench.fig10 import fig10_follow_the_cost
 from repro.bench.fig11 import fig11_deadline_sensitivity
+from repro.bench.parallel import (
+    bench_parallel,
+    write_bench_parallel_json,
+)
 from repro.bench.perf import (
     solver_speedup,
     optimization_overhead,
@@ -47,6 +51,8 @@ __all__ = [
     "fig09_ensemble_scores",
     "fig10_follow_the_cost",
     "fig11_deadline_sensitivity",
+    "bench_parallel",
+    "write_bench_parallel_json",
     "solver_speedup",
     "optimization_overhead",
     "write_bench_solver_json",

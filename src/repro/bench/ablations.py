@@ -45,7 +45,9 @@ def ablation_probabilistic_vs_deterministic(
     rows = []
     for notion, pct in (("probabilistic", percentile), ("deterministic", 50.0)):
         plan = deco.schedule(wf, d, deadline_percentile=pct)
-        results = sim.run_many(wf, plan.assignment, max(20, config.runs_per_plan))
+        results = sim.run_many(
+            wf, plan.assignment, max(20, config.runs_per_plan), workers=config.workers
+        )
         makespans = np.asarray([r.makespan for r in results])
         rows.append(
             {
@@ -109,7 +111,7 @@ def ablation_astar_pruning(config: BenchConfig | None = None) -> list[dict]:
     base = build_bench_ensemble("uniform_unsorted", config)
     deco = config.deco(max_evaluations=400)
     driver = EnsembleDriver(deco)
-    plans = driver.member_plans(base)
+    plans = driver.member_plans(base, workers=config.workers)
     costs = {p: plans[p].expected_cost for p in plans if plans[p].feasible}
     budget = 0.5 * sum(costs.values())
 
@@ -214,12 +216,17 @@ def ablation_failure_injection(
     sim = config.simulator()
     rows = []
     for rate in failure_rates:
-        results = [
-            sim.execute(
-                wf, dict(plan.assignment), run_id=r, failure_rate=rate, max_retries=50
-            )
-            for r in range(max(6, config.runs_per_plan))
-        ]
+        # One code route with the parallel runtime: run_many owns the
+        # per-run loop (and its failure-injection knobs) for both the
+        # serial and multi-worker paths.
+        results = sim.run_many(
+            wf,
+            plan.assignment,
+            max(6, config.runs_per_plan),
+            failure_rate=rate,
+            max_retries=50,
+            workers=config.workers,
+        )
         rows.append(
             {
                 "failure_rate": rate,

@@ -53,7 +53,7 @@ def fig01_instance_configs(
     rows = []
     for name, plan in plans.items():
         ev = backend.evaluate(problem, problem.state_from_assignment(plan))
-        results = sim.run_many(wf, plan, config.runs_per_plan)
+        results = sim.run_many(wf, plan, config.runs_per_plan, workers=config.workers)
         summary = sim.summarize(results)
         rows.append(
             {

@@ -32,7 +32,10 @@ def fig02_runtime_variance(
         wf = montage(degrees=deg, seed=config.seed)
         plan = deco.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
         makespans = np.asarray(
-            [r.makespan for r in sim.run_many(wf, plan.assignment, runs)]
+            [
+                r.makespan
+                for r in sim.run_many(wf, plan.assignment, runs, workers=config.workers)
+            ]
         )
         norm = makespans / makespans.mean()
         rows.append(

@@ -51,8 +51,12 @@ def fig08_probabilistic_deadline_sweep(
             )
             as_eval = backend.evaluate(problem, problem.state_from_assignment(as_plan))
 
-            deco_m = sim.summarize(sim.run_many(wf, plan.assignment, config.runs_per_plan))
-            as_m = sim.summarize(sim.run_many(wf, as_plan, config.runs_per_plan))
+            deco_m = sim.summarize(
+                sim.run_many(wf, plan.assignment, config.runs_per_plan, workers=config.workers)
+            )
+            as_m = sim.summarize(
+                sim.run_many(wf, as_plan, config.runs_per_plan, workers=config.workers)
+            )
             rows.append(
                 {
                     "workflow": wf.name,

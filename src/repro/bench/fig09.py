@@ -102,7 +102,7 @@ def fig09_ensemble_scores(
         base = build_bench_ensemble(kind, config)
         deco = config.deco(max_evaluations=600)
         driver = EnsembleDriver(deco)
-        plans = driver.member_plans(base)
+        plans = driver.member_plans(base, workers=config.workers)
         deco_costs = {p: plans[p].expected_cost for p in plans}
 
         # Budget grid from the baseline's own cost estimates (MinBudget =

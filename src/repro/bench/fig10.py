@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from repro.bench.harness import BenchConfig, is_full_profile
 from repro.engine.followcost import FollowCostDriver, WorkflowDeployment
+from repro.parallel.workers import solve_plans
 from repro.workflow.generators import ligo, montage
 
 __all__ = ["fig10_follow_the_cost", "build_fleet"]
@@ -45,8 +46,8 @@ def build_fleet(
     num_tasks = SIZE_AXIS.get(degrees, int(40 * degrees))
     deco = config.deco(max_evaluations=600)
     regions = config.catalog.region_names
-    fleet: list[WorkflowDeployment] = []
     rng = config.rngs.fresh(f"fig10/{degrees}")
+    workflows = []
     for i in range(per_region * len(regions)):
         if i % 2 == 0:
             wf = ligo(num_tasks=num_tasks, seed=config.seed + i, name=f"ligo-{degrees:g}-w{i}")
@@ -54,7 +55,16 @@ def build_fleet(
             wf = montage(
                 degrees=degrees, seed=config.seed + i, name=f"montage-{degrees:g}-w{i}"
             )
-        plan = deco.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
+        workflows.append(wf)
+    # The per-workflow home-region solves are independent -- fan them out.
+    plans = solve_plans(
+        deco,
+        [(i, wf, "medium", config.deadline_percentile) for i, wf in enumerate(workflows)],
+        workers=config.workers,
+    )
+    fleet: list[WorkflowDeployment] = []
+    for i, wf in enumerate(workflows):
+        plan = plans[i]
         region = regions[i % len(regions)]
         # Follow-the-cost uses the static deadline notion; give each
         # workflow serial-execution headroom plus jitter like the paper's

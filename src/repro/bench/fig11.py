@@ -37,8 +37,12 @@ def fig11_deadline_sensitivity(
             wf, config.catalog, d, pct, config.runtime_model,
             config.num_samples, seed=config.seed,
         )
-        deco_m = sim.summarize(sim.run_many(wf, plan.assignment, config.runs_per_plan))
-        as_m = sim.summarize(sim.run_many(wf, as_plan, config.runs_per_plan))
+        deco_m = sim.summarize(
+            sim.run_many(wf, plan.assignment, config.runs_per_plan, workers=config.workers)
+        )
+        as_m = sim.summarize(
+            sim.run_many(wf, as_plan, config.runs_per_plan, workers=config.workers)
+        )
         rows.append(
             {
                 "deadline": setting,

@@ -10,6 +10,7 @@ from repro.cloud.instance_types import Catalog, ec2_catalog
 from repro.cloud.simulator import CloudSimulator
 from repro.common.rng import RngService
 from repro.engine.deco import Deco
+from repro.parallel.executor import resolve_workers, workers_from_env
 from repro.workflow.runtime_model import RuntimeModel
 
 __all__ = ["BenchConfig", "format_table", "normalize", "is_full_profile"]
@@ -36,8 +37,13 @@ class BenchConfig:
     runs_per_plan: int = field(default_factory=lambda: 40 if is_full_profile() else 12)
     deadline_percentile: float = 96.0
     catalog: Catalog = field(default_factory=ec2_catalog)
+    #: Worker processes for the embarrassingly parallel stages (simulation
+    #: replications, per-member solves).  Defaults to ``REPRO_WORKERS``
+    #: (serial when unset); results are identical for any value.
+    workers: int = field(default_factory=workers_from_env)
 
     def __post_init__(self):
+        self.workers = resolve_workers(self.workers)
         self.runtime_model = RuntimeModel(self.catalog)
         self.rngs = RngService(self.seed)
 

@@ -1,0 +1,208 @@
+"""Parallel-runtime benchmark: serial vs N-worker wall-clock per fan-out site.
+
+Produces the repo's ``BENCH_parallel.json``.  Three rows, one per hot
+fan-out site the :mod:`repro.parallel` runtime covers:
+
+* ``run_many`` -- the Fig.-2 replication loop (100 simulated executions
+  of one Deco-optimized Montage plan by default);
+* ``member_plans`` -- independent per-member Deco solves of an ensemble;
+* ``fig02_driver`` -- a whole bench driver through the shared
+  ``BenchConfig.workers`` harness hook (solve + replications end to end).
+
+Every row records serial and parallel wall-clock, speedup, parallel
+efficiency (speedup / workers), the worker count and the host CPU count
+-- and an ``identical`` flag asserting the parallel results are
+bit-identical to the serial ones, which is the determinism contract the
+runtime exists to keep.  No minimum speedup is asserted here: a 1-core
+host legitimately reports speedup < 1, and the JSON says so honestly.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.bench.harness import BenchConfig
+from repro.engine.ensemble import EnsembleDriver
+from repro.parallel.executor import resolve_workers
+from repro.workflow.ensembles import make_ensemble
+from repro.workflow.generators import montage
+
+__all__ = [
+    "bench_parallel",
+    "default_bench_workers",
+    "host_cpu_count",
+    "write_bench_parallel_json",
+]
+
+
+def host_cpu_count() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
+
+
+def default_bench_workers() -> int:
+    """Comparison worker count when none is requested: 2-4, host-bounded."""
+    return max(2, min(4, host_cpu_count()))
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - t0
+
+
+def _row(
+    site: str,
+    subject: str,
+    units: int,
+    workers: int,
+    serial_seconds: float,
+    parallel_seconds: float,
+    identical: bool,
+) -> dict:
+    speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    return {
+        "site": site,
+        "subject": subject,
+        "units": units,
+        "workers": workers,
+        "host_cpu_count": host_cpu_count(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": speedup,
+        "efficiency": speedup / workers,
+        "identical": identical,
+    }
+
+
+def bench_parallel(
+    config: BenchConfig | None = None,
+    workers: int | None = None,
+    runs: int = 100,
+    degrees: float = 4.0,
+    ensemble_members: int = 6,
+) -> list[dict]:
+    """One row per fan-out site: serial vs ``workers`` wall-clock."""
+    config = config or BenchConfig()
+    nworkers = resolve_workers(workers) if workers is not None else default_bench_workers()
+
+    # Site 1: simulation replications (the Fig.-2 / acceptance shape:
+    # `runs` executions of one Deco-optimized plan).
+    wf = montage(degrees=degrees, seed=config.seed)
+    deco = config.deco()
+    plan = deco.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
+    sim = config.simulator()
+    serial_results, t_serial = _timed(
+        lambda: sim.run_many(wf, plan.assignment, runs, workers=1)
+    )
+    parallel_results, t_parallel = _timed(
+        lambda: sim.run_many(wf, plan.assignment, runs, workers=nworkers)
+    )
+    rows = [
+        _row(
+            "run_many",
+            wf.name,
+            runs,
+            nworkers,
+            t_serial,
+            t_parallel,
+            serial_results == parallel_results,
+        )
+    ]
+
+    # Site 2: independent per-member ensemble solves.
+    member_deco = config.deco(max_evaluations=min(600, config.max_evaluations))
+    driver = EnsembleDriver(member_deco)
+    ensemble = make_ensemble(
+        "uniform_unsorted", montage, ensemble_members, sizes=(20, 50), seed=config.seed
+    ).with_constraints(
+        budget=float("1e18"),
+        deadline_for=lambda m: member_deco.presets(m.workflow).medium,
+        deadline_percentile=config.deadline_percentile,
+    )
+    serial_plans, t_serial = _timed(lambda: driver.member_plans(ensemble, workers=1))
+    parallel_plans, t_parallel = _timed(
+        lambda: driver.member_plans(ensemble, workers=nworkers)
+    )
+    plans_identical = {p: plan.decision_dict() for p, plan in serial_plans.items()} == {
+        p: plan.decision_dict() for p, plan in parallel_plans.items()
+    }
+    rows.append(
+        _row(
+            "member_plans",
+            ensemble.name,
+            len(ensemble.members),
+            nworkers,
+            t_serial,
+            t_parallel,
+            plans_identical,
+        )
+    )
+
+    # Site 3: a whole bench driver through the BenchConfig.workers hook
+    # (fig02 = solve once, then replicate; end-to-end wall-clock).
+    from repro.bench.fig02 import fig02_runtime_variance
+
+    def driver_config(nw: int) -> BenchConfig:
+        return BenchConfig(
+            seed=config.seed,
+            num_samples=config.num_samples,
+            max_evaluations=config.max_evaluations,
+            runs_per_plan=config.runs_per_plan,
+            deadline_percentile=config.deadline_percentile,
+            workers=nw,
+        )
+
+    serial_rows, t_serial = _timed(
+        lambda: fig02_runtime_variance(driver_config(1), degrees=(1.0,))
+    )
+    parallel_rows, t_parallel = _timed(
+        lambda: fig02_runtime_variance(driver_config(nworkers), degrees=(1.0,))
+    )
+    rows.append(
+        _row(
+            "fig02_driver",
+            "fig02[montage-1]",
+            len(serial_rows),
+            nworkers,
+            t_serial,
+            t_parallel,
+            json.dumps(serial_rows, sort_keys=True)
+            == json.dumps(parallel_rows, sort_keys=True),
+        )
+    )
+    return rows
+
+
+def write_bench_parallel_json(
+    path: str | Path,
+    config: BenchConfig | None = None,
+    workers: int | None = None,
+    runs: int = 100,
+    degrees: float = 4.0,
+    rows: list[dict] | None = None,
+) -> dict:
+    """Write the machine-readable runtime benchmark (``BENCH_parallel.json``).
+
+    The headline ``speedup`` is the ``run_many`` site's (the acceptance
+    metric); ``identical`` aggregates the per-site determinism checks.
+    Pass precomputed ``rows`` to reuse measurements a caller already made.
+    """
+    if rows is None:
+        rows = bench_parallel(config, workers=workers, runs=runs, degrees=degrees)
+    payload = {
+        "benchmark": "parallel_runtime",
+        "unit": "s",
+        "host_cpu_count": host_cpu_count(),
+        "workers": rows[0]["workers"],
+        "speedup": rows[0]["speedup"],
+        "identical": all(r["identical"] for r in rows),
+        "rows": rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    return payload

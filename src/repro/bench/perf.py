@@ -29,6 +29,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.bench.harness import BenchConfig
+from repro.bench.parallel import host_cpu_count
 from repro.solver.backends import CompiledProblem, ScalarBackend, VectorizedBackend
 from repro.solver.state import PlanState
 from repro.workflow.generators import ligo, montage
@@ -171,6 +172,8 @@ def write_bench_solver_json(
     payload = {
         "benchmark": "solver",
         "unit": "ms",
+        "host_cpu_count": host_cpu_count(),
+        "workers": config.workers,
         "solver_speedup": speedup_rows if speedup_rows is not None else solver_speedup(config),
         "optimization_overhead": (
             overhead_rows if overhead_rows is not None else optimization_overhead(config)

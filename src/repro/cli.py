@@ -4,19 +4,28 @@ Usage::
 
     python -m repro list
     python -m repro run fig01 [--seed 7] [--samples 100] [--evals 800]
-    python -m repro run all
+    python -m repro run all --workers 4
     python -m repro schedule --app montage --degrees 1 --deadline medium \
         --percentile 96
     python -m repro schedule --dax workflow.xml --deadline 36000
+    python -m repro bench parallel [--workers 4] [--runs 100] [--out PATH]
+    python -m repro bench solver
     python -m repro lint program.wlog [--format json] [--strict]
     python -m repro lint --bundled
     python -m repro calibrate
 
 ``run`` regenerates a paper table/figure through the same drivers the
 benchmark harness uses and prints the table; ``schedule`` runs one Deco
-optimization and prints the plan; ``lint`` runs the WLog static
-analyzer (:mod:`repro.wlog.analysis`) over program files or the bundled
-templates; ``calibrate`` reproduces Table 2.
+optimization and prints the plan; ``bench`` emits the machine-readable
+benchmark JSON files (``BENCH_parallel.json`` / ``BENCH_solver.json``);
+``lint`` runs the WLog static analyzer (:mod:`repro.wlog.analysis`)
+over program files or the bundled templates; ``calibrate`` reproduces
+Table 2.
+
+``--workers N`` (or the ``REPRO_WORKERS`` environment variable) fans
+the embarrassingly parallel stages -- simulation replications and
+per-member solves -- over N processes; outputs are bit-identical for
+any worker count.
 
 Exit codes: 0 success, 1 infeasible plan / lint findings, 2 usage error
 (unknown experiment, unreadable file, bad argument).
@@ -26,11 +35,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 from typing import Sequence
 
-from repro.common.errors import DecoError
+from repro.common.errors import DecoError, ValidationError
 
 __all__ = ["main", "EXPERIMENTS"]
 
@@ -96,12 +106,18 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    workers_help = (
+        "worker processes for parallel fan-out "
+        "(default: REPRO_WORKERS, serial when unset)"
+    )
+
     run = sub.add_parser("run", help="regenerate a paper table/figure")
     run.add_argument("experiment", help="experiment id (see 'repro list') or 'all'")
     run.add_argument("--seed", type=int, default=7)
     run.add_argument("--samples", type=int, default=100, help="Monte Carlo samples per state")
     run.add_argument("--evals", type=int, default=800, help="search evaluation budget")
     run.add_argument("--runs", type=int, default=8, help="simulated runs per plan")
+    run.add_argument("--workers", default=None, metavar="N", help=workers_help)
 
     sched = sub.add_parser("schedule", help="optimize one workflow with Deco")
     sched.add_argument("--app", choices=("montage", "ligo", "epigenomics", "cybershake"),
@@ -118,6 +134,23 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--evals", type=int, default=1500)
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
+    sched.add_argument("--workers", default=None, metavar="N", help=workers_help)
+
+    bench = sub.add_parser("bench", help="emit machine-readable benchmark JSON")
+    bench.add_argument("target", choices=("parallel", "solver"),
+                       help="which benchmark to run")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output path (default: BENCH_<target>.json)")
+    bench.add_argument("--seed", type=int, default=7)
+    bench.add_argument("--samples", type=int, default=150)
+    bench.add_argument("--evals", type=int, default=1500)
+    bench.add_argument("--runs", type=int, default=100,
+                       help="replications for the run_many site (parallel bench)")
+    bench.add_argument("--degrees", type=float, default=4.0,
+                       help="montage scale for the run_many site (parallel bench)")
+    bench.add_argument("--workers", default=None, metavar="N",
+                       help="worker count to compare against serial "
+                            "(default: min(4, host CPUs))")
 
     lint = sub.add_parser("lint", help="statically analyze WLog program files")
     lint.add_argument("files", nargs="*", metavar="FILE",
@@ -141,15 +174,43 @@ def _usage_error(out, message: str) -> int:
     return 2
 
 
+def _workers_arg(args) -> int | None:
+    """Validate ``--workers`` / ``REPRO_WORKERS``; ``None`` = not requested.
+
+    Raises :class:`ValidationError` (one-line error, exit code 2 via the
+    main handler) on non-positive or non-integer values.
+    """
+    raw = getattr(args, "workers", None)
+    if raw is not None:
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValidationError(
+                f"--workers must be a positive integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ValidationError(f"--workers must be a positive integer, got {value}")
+        return value
+    if os.environ.get("REPRO_WORKERS", "").strip():
+        from repro.parallel import workers_from_env
+
+        return workers_from_env()
+    return None
+
+
 def _config(args):
     from repro.bench import BenchConfig
 
-    return BenchConfig(
+    kwargs = dict(
         seed=args.seed,
         num_samples=args.samples,
         max_evaluations=args.evals,
         runs_per_plan=getattr(args, "runs", 8),
     )
+    workers = _workers_arg(args)
+    if workers is not None:
+        kwargs["workers"] = workers
+    return BenchConfig(**kwargs)
 
 
 def _cmd_list(out) -> int:
@@ -185,6 +246,7 @@ def _cmd_schedule(args, out) -> int:
 
     if not 0 < args.percentile <= 100:
         return _usage_error(out, f"--percentile must be in (0, 100], got {args.percentile:g}")
+    workers = _workers_arg(args)
 
     catalog = ec2_catalog()
     if args.dax is not None:
@@ -224,7 +286,9 @@ def _cmd_schedule(args, out) -> int:
 
     if args.execute:
         sim = CloudSimulator(catalog, RngService(args.seed + 1), deco.runtime_model)
-        summary = sim.summarize(sim.run_many(workflow, dict(plan.assignment), 10))
+        summary = sim.summarize(
+            sim.run_many(workflow, dict(plan.assignment), 10, workers=workers)
+        )
         print(f"measured (10 runs): ${summary['mean_cost']:.2f}, "
               f"{summary['mean_makespan']:.0f} s mean makespan", file=out)
     return 0 if plan.feasible else 1
@@ -305,6 +369,41 @@ def _cmd_lint(args, out) -> int:
     return 1 if total_errors else 0
 
 
+def _cmd_bench(args, out) -> int:
+    if args.runs < 1:
+        return _usage_error(out, f"--runs must be >= 1, got {args.runs}")
+    workers = _workers_arg(args)
+    from repro.bench import BenchConfig, format_table
+
+    # --runs sizes the run_many replication site, not the per-plan
+    # repetition count of the driver site -- keep the harness default.
+    config = BenchConfig(
+        seed=args.seed, num_samples=args.samples, max_evaluations=args.evals
+    )
+    if args.target == "parallel":
+        from repro.bench.parallel import bench_parallel, write_bench_parallel_json
+
+        rows = bench_parallel(config, workers=workers, runs=args.runs, degrees=args.degrees)
+        path = Path(args.out or "BENCH_parallel.json")
+        payload = write_bench_parallel_json(path, rows=rows)
+        print(format_table(rows, "Parallel runtime: serial vs multi-worker"), file=out)
+        print(
+            f"\nwrote {path} (workers={payload['workers']}, "
+            f"cpus={payload['host_cpu_count']}, "
+            f"run_many speedup={payload['speedup']:.2f}x, "
+            f"identical={payload['identical']})",
+            file=out,
+        )
+        return 0 if payload["identical"] else 1
+    from repro.bench import write_bench_solver_json
+
+    path = Path(args.out or "BENCH_solver.json")
+    payload = write_bench_solver_json(path, config)
+    print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
+    print(f"\nwrote {path}", file=out)
+    return 0
+
+
 def _cmd_calibrate(out) -> int:
     from repro.bench import BenchConfig, format_table, table2_io_distributions
 
@@ -325,6 +424,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_run(args, out)
         if args.command == "schedule":
             return _cmd_schedule(args, out)
+        if args.command == "bench":
+            return _cmd_bench(args, out)
         if args.command == "lint":
             return _cmd_lint(args, out)
         if args.command == "calibrate":

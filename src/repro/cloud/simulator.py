@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 import numpy as np
 
@@ -35,9 +35,10 @@ from repro.common.units import billed_hours
 from repro.cloud.instance_types import Catalog
 from repro.cloud.network import NetworkModel
 from repro.cloud.pricing import PricingModel
+from repro.parallel.executor import ParallelExecutor, chunk_evenly, resolve_workers
 from repro.workflow.dag import Workflow
 
-if False:  # pragma: no cover - import cycle guard (cloud <-> workflow), typing only
+if TYPE_CHECKING:  # import cycle guard (cloud <-> workflow), typing only
     from repro.workflow.runtime_model import RuntimeModel
 
 __all__ = ["TaskRecord", "InstanceRecord", "ExecutionResult", "CloudSimulator"]
@@ -270,18 +271,71 @@ class CloudSimulator:
         assignment: Mapping[str, str],
         runs: int,
         region: str | None = None,
+        *,
+        failure_rate: float = 0.0,
+        max_retries: int = 3,
+        workers: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
     ) -> list[ExecutionResult]:
         """Execute the same plan ``runs`` times with fresh cloud dynamics.
 
         This is how the paper produces Fig. 2 (runtime variance of
         Deco-optimized plans over 100 runs) and all "average cost /
         average execution time" numbers.
+
+        Each run ``r`` draws its cloud realization from the stateless
+        stream ``(seed, "sim/<workflow>/<region>/<r>")``, so the result
+        list is bit-identical for any ``workers`` count: parallelism
+        only distributes run ids over processes.  ``workers=None``
+        defers to ``REPRO_WORKERS`` (default serial).  ``progress(done,
+        runs)`` is called after every run (serial) or after every
+        completed chunk with chunk-granular counts (parallel); the final
+        call always reports ``(runs, runs)``.
         """
         if runs < 1:
             raise ValidationError(f"runs must be >= 1, got {runs}")
-        return [
-            self.execute(workflow, assignment, region=region, run_id=r) for r in range(runs)
+        nworkers = resolve_workers(workers)
+
+        def execute_run(run_id: int) -> ExecutionResult:
+            return self.execute(
+                workflow,
+                assignment,
+                region=region,
+                run_id=run_id,
+                failure_rate=failure_rate,
+                max_retries=max_retries,
+            )
+
+        if nworkers == 1 or runs == 1:
+            results = []
+            for r in range(runs):
+                results.append(execute_run(r))
+                if progress is not None:
+                    progress(len(results), runs)
+            return results
+
+        # Deferred: workers.py imports this module (cycle guard).
+        from repro.parallel import workers as worker_ctx
+
+        plan = dict(assignment)
+        chunks = chunk_evenly(range(runs), min(runs, nworkers * 4))
+        payloads = [
+            (workflow, plan, region, chunk, failure_rate, max_retries) for chunk in chunks
         ]
+        executor = ParallelExecutor(
+            nworkers,
+            initializer=worker_ctx.init_simulator_worker,
+            initargs=(self.catalog, self.rngs, self.runtime),
+        )
+
+        def chunk_progress(done: int, total: int) -> None:
+            if progress is not None:
+                progress(runs if done == total else round(done * runs / total), runs)
+
+        chunked = executor.map_tasks(
+            worker_ctx.run_replication_chunk, payloads, progress=chunk_progress
+        )
+        return [result for chunk in chunked for result in chunk]
 
     @staticmethod
     def summarize(results: Sequence[ExecutionResult]) -> dict[str, float]:

@@ -79,6 +79,15 @@ class RngService:
         """
         return _PrefixedRngService(self, prefix)
 
+    def pristine(self) -> "RngService":
+        """An equivalent service with no consumed stream state.
+
+        Worker processes rebuild their RNG from this, so a replication's
+        stream depends only on ``(seed, path)`` -- never on how much of
+        any stream the parent already consumed.
+        """
+        return RngService(self.seed)
+
     def paths(self) -> Iterator[str]:
         """Paths that have been materialized so far (for diagnostics)."""
         return iter(sorted(self._streams))
@@ -108,3 +117,6 @@ class _PrefixedRngService(RngService):
 
     def child(self, prefix: str) -> "RngService":
         return _PrefixedRngService(self._parent, f"{self._prefix}/{prefix}")
+
+    def pristine(self) -> "RngService":
+        return self._parent.pristine().child(self._prefix)

@@ -92,6 +92,32 @@ class Deco:
             expand_per_iter=expand_per_iter,
         )
 
+    # Worker-process rebuilding --------------------------------------------
+
+    def spec(self) -> dict:
+        """Picklable constructor arguments reproducing this engine.
+
+        Worker processes rebuild an equivalent (cold-cache) Deco from
+        this spec instead of pickling live caches and sample tensors;
+        solves are cache-transparent, so plans come out identical.
+        """
+        return {
+            "catalog": self.catalog,
+            "seed": self.seed,
+            "backend": self.backend.name,
+            "num_samples": self.num_samples,
+            "max_evaluations": self._search.max_evaluations,
+            "beam_width": self._search.beam_width,
+            "children_per_state": self._search.children_per_state,
+            "expand_per_iter": self._search.expand_per_iter,
+            "require_feasible": self.require_feasible,
+        }
+
+    @classmethod
+    def from_spec(cls, spec: dict) -> "Deco":
+        """Rebuild an engine from :meth:`spec` (in a worker process)."""
+        return cls(**spec)
+
     # Deadline helpers ------------------------------------------------------
 
     def presets(self, workflow: Workflow) -> DeadlinePresets:

@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Mapping
+from typing import Callable, Mapping
 
 from repro.common.errors import ValidationError
 from repro.engine.deco import Deco
 from repro.engine.plan import ProvisioningPlan
+from repro.parallel.workers import solve_plans
 from repro.solver.search import AStarResult, AStarSearch
 from repro.wlog.engine import Database, Engine
 from repro.wlog.library import ensemble_program
@@ -81,16 +82,25 @@ class EnsembleDriver:
 
     # ------------------------------------------------------------------
 
-    def member_plans(self, ensemble: Ensemble) -> dict[int, ProvisioningPlan]:
-        """Optimize every member under its own probabilistic deadline."""
-        plans: dict[int, ProvisioningPlan] = {}
-        for member in ensemble.by_priority():
-            plans[member.priority] = self.deco.schedule(
-                member.workflow,
-                deadline=member.deadline,
-                deadline_percentile=member.deadline_percentile,
-            )
-        return plans
+    def member_plans(
+        self,
+        ensemble: Ensemble,
+        workers: int | None = None,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> dict[int, ProvisioningPlan]:
+        """Optimize every member under its own probabilistic deadline.
+
+        Member solves are independent, so ``workers > 1`` fans them out
+        over processes (each worker rebuilds a pristine engine from
+        :meth:`~repro.engine.deco.Deco.spec`); the plans are identical
+        to the serial ones for any worker count.
+        """
+        jobs = [
+            (m.priority, m.workflow, m.deadline, m.deadline_percentile)
+            for m in ensemble.by_priority()
+        ]
+        plans = solve_plans(self.deco, jobs, workers=workers, progress=progress)
+        return {priority: plans[priority] for priority, *_ in jobs}
 
     def decide(
         self,

@@ -58,6 +58,19 @@ class ProvisioningPlan:
             return 0.0
         return self.solve_seconds * 1000.0 / len(self.assignment)
 
+    def decision_dict(self) -> dict:
+        """The deterministic decision content of the plan.
+
+        Everything the optimizer *decided* (assignment, cost,
+        probability, feasibility, evaluations) but not how long the
+        solve took: ``solve_seconds`` is host-speed metadata, and the
+        parallel runtime's determinism contract promises byte-identical
+        decision dicts for any worker count.
+        """
+        data = asdict(self)
+        data.pop("solve_seconds")
+        return data
+
     # Serialization -------------------------------------------------------
 
     def to_json(self) -> str:

@@ -1,0 +1,228 @@
+"""Worker-pool abstraction with a deterministic serial fallback.
+
+Design notes
+------------
+
+* **Determinism is the caller's contract, enforced by structure.**  A
+  task function handed to :meth:`ParallelExecutor.map_tasks` must be a
+  pure function of its argument (plus the per-worker context built by
+  the initializer from a picklable spec).  Under that contract the
+  result list is identical for any worker count -- the executor only
+  changes *where* each item is evaluated, never *what* it sees.
+* **Serial is a first-class mode, not an emergency.**  ``workers=1``
+  (or ``REPRO_WORKERS=0``) runs everything in-process with zero pickling
+  and zero pool setup; the parallel path must agree with it bit for bit,
+  which is what the determinism regression tests assert.
+* **Restricted environments downgrade, once, loudly.**  Sandboxes that
+  forbid ``fork``/semaphores raise at pool creation or first dispatch;
+  we catch that, emit a single :class:`RuntimeWarning` per process and
+  re-run the map serially (task functions are pure, so re-running is
+  safe).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.common.errors import ValidationError
+
+__all__ = [
+    "ENV_WORKERS",
+    "ParallelExecutor",
+    "chunk_evenly",
+    "map_tasks",
+    "resolve_workers",
+    "workers_from_env",
+]
+
+#: Environment variable controlling the default worker count.
+#: ``0`` forces the serial in-process path (useful to pin CI runs).
+ENV_WORKERS = "REPRO_WORKERS"
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+# One fallback warning per process: the downgrade is environmental, not
+# per-call, and a 100-chunk sweep should not print 100 warnings.
+_warned_fallback = False
+
+
+def workers_from_env(default: int = 1) -> int:
+    """Worker count from ``REPRO_WORKERS`` (``0`` means serial).
+
+    Raises :class:`ValidationError` on non-integer or negative values so
+    a typo fails fast instead of silently running serial.
+    """
+    raw = os.environ.get(ENV_WORKERS)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ValidationError(
+            f"{ENV_WORKERS} must be an integer >= 0, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ValidationError(f"{ENV_WORKERS} must be an integer >= 0, got {value}")
+    return value if value > 0 else 1
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Normalize a ``workers`` argument to an effective count (>= 1).
+
+    ``None`` defers to ``REPRO_WORKERS`` (default serial); an explicit
+    value must be a positive integer.
+    """
+    if workers is None:
+        return workers_from_env()
+    if isinstance(workers, bool) or not isinstance(workers, int):
+        raise ValidationError(f"workers must be a positive integer, got {workers!r}")
+    if workers < 1:
+        raise ValidationError(f"workers must be a positive integer, got {workers}")
+    return workers
+
+
+def _warn_serial_fallback(exc: BaseException) -> None:
+    global _warned_fallback
+    if _warned_fallback:
+        return
+    _warned_fallback = True
+    warnings.warn(
+        "process pool unavailable in this environment "
+        f"({type(exc).__name__}: {exc}); falling back to serial execution",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class ParallelExecutor:
+    """Map pure task functions over items with N worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Worker count; ``None`` defers to ``REPRO_WORKERS``; ``1`` runs
+        serially in-process.
+    initializer / initargs:
+        Per-worker context builder (a module-level function plus
+        picklable arguments).  In serial mode it runs once in-process
+        before the first task, so both modes execute the same route.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: Sequence[object] = (),
+    ):
+        self.workers = resolve_workers(workers)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+
+    @property
+    def is_serial(self) -> bool:
+        return self.workers == 1
+
+    def map_tasks(
+        self,
+        fn: Callable[[_T], _R],
+        items: Iterable[_T],
+        *,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> list[_R]:
+        """``[fn(item) for item in items]``, possibly across processes.
+
+        Results are always returned in input order; ``progress(done,
+        total)`` is invoked after each completed item (serial) or each
+        completed dispatch (parallel), in completion order.
+        """
+        items = list(items)
+        if self.workers == 1 or len(items) <= 1:
+            return self._map_serial(fn, items, progress)
+        try:
+            return self._map_parallel(fn, items, progress)
+        except (NotImplementedError, OSError, BrokenProcessPool) as exc:
+            _warn_serial_fallback(exc)
+            return self._map_serial(fn, items, progress)
+
+    # ------------------------------------------------------------------
+
+    def _map_serial(
+        self,
+        fn: Callable[[_T], _R],
+        items: list[_T],
+        progress: Callable[[int, int], None] | None,
+    ) -> list[_R]:
+        if self._initializer is not None:
+            self._initializer(*self._initargs)
+        out: list[_R] = []
+        for item in items:
+            out.append(fn(item))
+            if progress is not None:
+                progress(len(out), len(items))
+        return out
+
+    def _map_parallel(
+        self,
+        fn: Callable[[_T], _R],
+        items: list[_T],
+        progress: Callable[[int, int], None] | None,
+    ) -> list[_R]:
+        # Imported here so monkeypatching the module attribute in tests
+        # (to simulate restricted sandboxes) also affects this path.
+        from concurrent.futures import ProcessPoolExecutor
+
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(items)),
+            initializer=self._initializer,
+            initargs=self._initargs,
+        ) as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            pending = set(futures)
+            done_count = 0
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    fut.result()  # surface worker exceptions eagerly
+                    done_count += 1
+                    if progress is not None:
+                        progress(done_count, len(futures))
+            return [fut.result() for fut in futures]
+
+
+def map_tasks(
+    fn: Callable[[_T], _R],
+    items: Iterable[_T],
+    workers: int | None = None,
+    *,
+    initializer: Callable[..., None] | None = None,
+    initargs: Sequence[object] = (),
+    progress: Callable[[int, int], None] | None = None,
+) -> list[_R]:
+    """One-shot convenience wrapper around :class:`ParallelExecutor`."""
+    executor = ParallelExecutor(workers, initializer=initializer, initargs=initargs)
+    return executor.map_tasks(fn, items, progress=progress)
+
+
+def chunk_evenly(items: Sequence[_T], chunks: int) -> list[list[_T]]:
+    """Split ``items`` into at most ``chunks`` contiguous, balanced runs.
+
+    Contiguity keeps flattened results in input order; balance keeps the
+    pool busy (sizes differ by at most one).  Empty chunks are dropped.
+    """
+    if chunks < 1:
+        raise ValidationError(f"chunks must be >= 1, got {chunks}")
+    n = len(items)
+    chunks = min(chunks, n) if n else 0
+    out: list[list[_T]] = []
+    start = 0
+    for i in range(chunks):
+        size = n // chunks + (1 if i < n % chunks else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out

@@ -1,0 +1,131 @@
+"""Per-worker context: rebuild simulator/Deco state inside each process.
+
+Task functions dispatched through :class:`~repro.parallel.ParallelExecutor`
+must be module-level (picklable by reference) and pure.  The stateful
+parts -- a :class:`~repro.cloud.simulator.CloudSimulator` or a
+:class:`~repro.engine.deco.Deco` engine -- are rebuilt once per worker
+process by the initializers below from small picklable specs, never
+shipped per task.  Rebuilding (rather than forking the parent's live
+objects) is what makes the determinism contract auditable:
+
+* the simulator's per-run streams derive statelessly from
+  ``spawn_rng(seed, "sim/<workflow>/<region>/<run_id>")``, so a worker
+  holding a pristine :class:`~repro.common.rng.RngService` replays run
+  ``r`` identically to the serial loop, whatever other runs it was
+  handed;
+* a Deco solve is cache-transparent (memoized makespans and compiled
+  problems return exactly what recomputation would), so a cold
+  per-worker engine produces the same plan as the caller's warm one.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
+
+from repro.cloud.simulator import CloudSimulator, ExecutionResult
+from repro.common.rng import RngService
+from repro.parallel.executor import ParallelExecutor, resolve_workers
+from repro.workflow.dag import Workflow
+from repro.workflow.runtime_model import RuntimeModel
+
+if TYPE_CHECKING:  # import cycle guard (parallel <-> engine), typing only
+    from repro.engine.deco import Deco
+    from repro.engine.plan import ProvisioningPlan
+
+__all__ = [
+    "init_simulator_worker",
+    "run_replication_chunk",
+    "init_deco_worker",
+    "solve_plan_job",
+    "solve_plans",
+]
+
+# Worker-process singletons, populated by the initializers.  In serial
+# mode the initializer runs in-process, so the same task functions work
+# unchanged -- one code route for both modes.
+_SIMULATOR: CloudSimulator | None = None
+_DECO: "Deco | None" = None
+
+
+# Simulation replications ----------------------------------------------------
+
+
+def init_simulator_worker(catalog, rngs: RngService, runtime_model: RuntimeModel) -> None:
+    """Build this worker's simulator from the parent's (picklable) parts.
+
+    The RNG service is re-derived pristine from its seed: workers never
+    inherit consumed generator state, so replication ``r`` sees exactly
+    the stream ``spawn_rng(seed, ".../r")`` regardless of which worker
+    (or the serial loop) executes it.
+    """
+    global _SIMULATOR
+    _SIMULATOR = CloudSimulator(catalog, rngs.pristine(), runtime_model)
+
+
+def run_replication_chunk(
+    payload: tuple[Workflow, Mapping[str, str], str | None, Sequence[int], float, int],
+) -> list[ExecutionResult]:
+    """Execute a contiguous chunk of run ids on this worker's simulator."""
+    workflow, assignment, region, run_ids, failure_rate, max_retries = payload
+    if _SIMULATOR is None:
+        raise RuntimeError("simulator worker used before init_simulator_worker")
+    return [
+        _SIMULATOR.execute(
+            workflow,
+            assignment,
+            region=region,
+            run_id=run_id,
+            failure_rate=failure_rate,
+            max_retries=max_retries,
+        )
+        for run_id in run_ids
+    ]
+
+
+# Deco solves ----------------------------------------------------------------
+
+
+def init_deco_worker(spec: Mapping[str, object]) -> None:
+    """Rebuild a pristine Deco engine from :meth:`Deco.spec`."""
+    from repro.engine.deco import Deco
+
+    global _DECO
+    _DECO = Deco.from_spec(dict(spec))
+
+
+def solve_plan_job(
+    payload: tuple[object, Workflow, float | str, float],
+) -> "tuple[object, ProvisioningPlan]":
+    """Solve one (key, workflow, deadline, percentile) job."""
+    key, workflow, deadline, percentile = payload
+    if _DECO is None:
+        raise RuntimeError("deco worker used before init_deco_worker")
+    return key, _DECO.schedule(workflow, deadline, deadline_percentile=percentile)
+
+
+def solve_plans(
+    deco: "Deco",
+    jobs: Iterable[tuple[object, Workflow, float | str, float]],
+    workers: int | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> "dict[object, ProvisioningPlan]":
+    """Solve independent scheduling jobs, keyed by each job's key.
+
+    The serial path reuses the caller's engine (keeping its compiled
+    problem and makespan caches warm across calls); parallel workers
+    rebuild cold engines from ``deco.spec()``.  Both yield identical
+    plans because solves are cache-transparent.
+    """
+    jobs = list(jobs)
+    nworkers = resolve_workers(workers)
+    if nworkers == 1 or len(jobs) <= 1:
+        plans: dict[object, ProvisioningPlan] = {}
+        for key, workflow, deadline, percentile in jobs:
+            plans[key] = deco.schedule(workflow, deadline, deadline_percentile=percentile)
+            if progress is not None:
+                progress(len(plans), len(jobs))
+        return plans
+    executor = ParallelExecutor(
+        nworkers, initializer=init_deco_worker, initargs=(deco.spec(),)
+    )
+    return dict(executor.map_tasks(solve_plan_job, jobs, progress=progress))

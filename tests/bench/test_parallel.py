@@ -1,0 +1,72 @@
+"""Smoke tests for the parallel-runtime benchmark emitter."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig
+from repro.bench.parallel import (
+    bench_parallel,
+    default_bench_workers,
+    host_cpu_count,
+    write_bench_parallel_json,
+)
+
+ROW_FIELDS = {
+    "site",
+    "subject",
+    "units",
+    "workers",
+    "host_cpu_count",
+    "serial_seconds",
+    "parallel_seconds",
+    "speedup",
+    "efficiency",
+    "identical",
+}
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BenchConfig(seed=7, num_samples=30, max_evaluations=80, runs_per_plan=2)
+
+
+@pytest.fixture(scope="module")
+def rows(config):
+    return bench_parallel(config, workers=2, runs=4, degrees=1.0, ensemble_members=2)
+
+
+class TestBenchParallel:
+    def test_three_sites(self, rows):
+        assert [r["site"] for r in rows] == ["run_many", "member_plans", "fig02_driver"]
+
+    def test_row_fields(self, rows):
+        for row in rows:
+            assert ROW_FIELDS <= set(row)
+            assert row["workers"] == 2
+            assert row["serial_seconds"] > 0
+            assert row["parallel_seconds"] > 0
+            assert row["speedup"] >= 0
+            assert row["efficiency"] == pytest.approx(row["speedup"] / row["workers"])
+
+    def test_determinism_flag_holds(self, rows):
+        # The whole point of the runtime: every site bit-identical.
+        assert all(r["identical"] for r in rows)
+
+    def test_host_cpu_count_positive(self):
+        assert host_cpu_count() >= 1
+        assert 2 <= default_bench_workers() <= 4
+
+
+class TestWriteBenchParallelJson:
+    def test_writes_parseable_payload(self, tmp_path, config, rows):
+        out = tmp_path / "BENCH_parallel.json"
+        payload = write_bench_parallel_json(out, config, rows=rows)
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(payload, default=float))
+        assert on_disk["benchmark"] == "parallel_runtime"
+        assert on_disk["unit"] == "s"
+        assert on_disk["workers"] == 2
+        assert on_disk["speedup"] >= 0
+        assert on_disk["identical"] is True
+        assert len(on_disk["rows"]) == 3

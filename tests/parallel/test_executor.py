@@ -1,0 +1,175 @@
+"""Tests for the worker-pool abstraction (repro.parallel.executor)."""
+
+import concurrent.futures
+import os
+
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.parallel import executor as executor_mod
+from repro.parallel.executor import (
+    ENV_WORKERS,
+    ParallelExecutor,
+    chunk_evenly,
+    map_tasks,
+    resolve_workers,
+    workers_from_env,
+)
+
+# Module-level so worker processes can unpickle them by reference.
+
+
+def square(x):
+    return x * x
+
+
+def worker_pid(_):
+    return os.getpid()
+
+
+_CONTEXT = {}
+
+
+def set_context(value):
+    _CONTEXT["value"] = value
+
+
+def read_context(x):
+    return (_CONTEXT.get("value"), x)
+
+
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert resolve_workers(None) == 1
+
+    def test_explicit_value(self):
+        assert resolve_workers(3) == 3
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "4", True])
+    def test_rejects_non_positive_or_non_integer(self, bad):
+        with pytest.raises(ValidationError):
+            resolve_workers(bad)
+
+
+class TestWorkersFromEnv:
+    def test_unset_uses_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_WORKERS, raising=False)
+        assert workers_from_env() == 1
+        assert workers_from_env(default=5) == 5
+
+    def test_positive_value(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "3")
+        assert workers_from_env() == 3
+
+    def test_zero_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_WORKERS, "0")
+        assert workers_from_env() == 1
+
+    @pytest.mark.parametrize("bad", ["banana", "-2", "2.5"])
+    def test_rejects_invalid(self, monkeypatch, bad):
+        monkeypatch.setenv(ENV_WORKERS, bad)
+        with pytest.raises(ValidationError):
+            workers_from_env()
+
+
+class TestMapTasks:
+    def test_serial_matches_parallel(self):
+        items = list(range(17))
+        serial = map_tasks(square, items, workers=1)
+        parallel = map_tasks(square, items, workers=3)
+        assert serial == parallel == [x * x for x in items]
+
+    def test_results_in_input_order(self):
+        items = list(range(32))
+        assert map_tasks(square, items, workers=4) == [x * x for x in items]
+
+    def test_parallel_uses_multiple_processes(self):
+        pids = set(map_tasks(worker_pid, range(16), workers=2))
+        # At least one task ran outside this process (scheduling may or
+        # may not involve both workers on a loaded host).
+        assert os.getpid() not in pids or len(pids) > 1
+
+    def test_single_item_runs_serially(self):
+        assert map_tasks(square, [7], workers=8) == [49]
+
+    def test_progress_serial(self):
+        calls = []
+        map_tasks(square, range(5), workers=1, progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(i + 1, 5) for i in range(5)]
+
+    def test_progress_parallel_reaches_total(self):
+        calls = []
+        map_tasks(square, range(6), workers=2, progress=lambda d, t: calls.append((d, t)))
+        assert [d for d, _ in calls] == sorted(d for d, _ in calls)
+        assert calls[-1] == (6, 6)
+
+    def test_initializer_runs_in_serial_mode(self):
+        executor = ParallelExecutor(1, initializer=set_context, initargs=(42,))
+        assert executor.map_tasks(read_context, [1, 2]) == [(42, 1), (42, 2)]
+
+    def test_initializer_runs_in_each_worker(self):
+        executor = ParallelExecutor(2, initializer=set_context, initargs=(7,))
+        out = executor.map_tasks(read_context, range(8))
+        assert out == [(7, x) for x in range(8)]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ZeroDivisionError):
+            map_tasks(_divide_by, [1, 0, 2], workers=2)
+
+
+def _divide_by(x):
+    return 1 // x
+
+
+class TestSerialFallback:
+    @pytest.fixture(autouse=True)
+    def reset_warning_flag(self):
+        executor_mod._warned_fallback = False
+        yield
+        executor_mod._warned_fallback = False
+
+    def test_falls_back_with_single_warning(self, monkeypatch):
+        def unavailable(*args, **kwargs):
+            raise NotImplementedError("no process pools in this sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", unavailable)
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            out = map_tasks(square, range(6), workers=4)
+        assert out == [x * x for x in range(6)]
+        # The downgrade warns exactly once per process, not per call.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert map_tasks(square, range(4), workers=4) == [0, 1, 4, 9]
+
+    def test_fallback_preserves_initializer(self, monkeypatch):
+        def unavailable(*args, **kwargs):
+            raise OSError("fork blocked")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", unavailable)
+        executor = ParallelExecutor(4, initializer=set_context, initargs=(11,))
+        with pytest.warns(RuntimeWarning):
+            assert executor.map_tasks(read_context, [5]* 2) == [(11, 5), (11, 5)]
+
+
+class TestChunkEvenly:
+    def test_balanced_contiguous(self):
+        chunks = chunk_evenly(list(range(10)), 3)
+        assert chunks == [[0, 1, 2, 3], [4, 5, 6], [7, 8, 9]]
+
+    def test_more_chunks_than_items(self):
+        assert chunk_evenly([1, 2], 5) == [[1], [2]]
+
+    def test_empty(self):
+        assert chunk_evenly([], 3) == []
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValidationError):
+            chunk_evenly([1], 0)
+
+    def test_flatten_preserves_order(self):
+        items = list(range(23))
+        flat = [x for chunk in chunk_evenly(items, 4) for x in chunk]
+        assert flat == items

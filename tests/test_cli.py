@@ -205,6 +205,103 @@ class TestLint:
         assert "0 error(s), 0 warning(s)" in text
 
 
+class TestWorkersOption:
+    def test_run_with_workers(self):
+        code, text = run_cli(
+            ["run", "fig01", "--seed", "7", "--samples", "40", "--evals", "150",
+             "--runs", "2", "--workers", "2"]
+        )
+        assert code == 0
+        assert "Figure 1" in text
+
+    def test_schedule_execute_with_workers(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1", "--execute",
+             "--samples", "40", "--evals", "150", "--workers", "2"]
+        )
+        assert code == 0
+        assert "measured (10 runs)" in text
+
+    def test_rejects_zero(self):
+        code, text = run_cli(["run", "fig01", "--workers", "0"])
+        assert code == 2
+        assert "--workers must be a positive integer" in text
+        assert text.count("\n") == 1  # one-line error, no traceback
+
+    def test_rejects_negative(self):
+        code, text = run_cli(["schedule", "--workers", "-3"])
+        assert code == 2
+        assert "--workers must be a positive integer" in text
+
+    def test_rejects_non_integer(self):
+        code, text = run_cli(["run", "fig01", "--workers", "2.5"])
+        assert code == 2
+        assert "--workers must be a positive integer" in text
+
+    def test_env_var_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "banana")
+        code, text = run_cli(["run", "fig01", "--samples", "40", "--evals", "150"])
+        assert code == 2
+        assert "REPRO_WORKERS" in text
+        assert text.count("\n") == 1
+
+    def test_env_var_zero_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        code, text = run_cli(
+            ["run", "fig01", "--seed", "7", "--samples", "40", "--evals", "150",
+             "--runs", "2"]
+        )
+        assert code == 0
+
+    def test_flag_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "banana")  # would fail if consulted
+        code, _ = run_cli(
+            ["run", "fig01", "--seed", "7", "--samples", "40", "--evals", "150",
+             "--runs", "2", "--workers", "1"]
+        )
+        assert code == 0
+
+
+class TestBench:
+    def test_parallel_target(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_parallel.json"
+        code, text = run_cli(
+            ["bench", "parallel", "--out", str(out_path), "--seed", "7",
+             "--samples", "30", "--evals", "80", "--runs", "4",
+             "--degrees", "1", "--workers", "2"]
+        )
+        assert code == 0
+        assert "Parallel runtime" in text
+        assert "identical=True" in text
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "parallel_runtime"
+        assert payload["workers"] == 2
+        assert payload["identical"] is True
+
+    def test_solver_target(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_solver.json"
+        code, text = run_cli(
+            ["bench", "solver", "--out", str(out_path),
+             "--samples", "20", "--evals", "50"]
+        )
+        assert code == 0
+        assert "wrote" in text
+        payload = json.loads(out_path.read_text())
+        assert "solver_speedup" in payload
+        assert "host_cpu_count" in payload
+
+    def test_rejects_bad_runs(self, tmp_path):
+        code, text = run_cli(
+            ["bench", "parallel", "--out", str(tmp_path / "x.json"), "--runs", "0"]
+        )
+        assert code == 2
+        assert "--runs must be >= 1" in text
+
+
 class TestCalibrate:
     def test_calibrate(self):
         code, text = run_cli(["calibrate"])
