@@ -30,6 +30,10 @@ from repro.bench.perf import (
     optimization_overhead,
     write_bench_solver_json,
 )
+from repro.bench.faults import (
+    bench_faults,
+    write_bench_faults_json,
+)
 from repro.bench.ablations import (
     ablation_probabilistic_vs_deterministic,
     ablation_mc_iterations,
@@ -56,6 +60,8 @@ __all__ = [
     "solver_speedup",
     "optimization_overhead",
     "write_bench_solver_json",
+    "bench_faults",
+    "write_bench_faults_json",
     "ablation_probabilistic_vs_deterministic",
     "ablation_mc_iterations",
     "ablation_astar_pruning",

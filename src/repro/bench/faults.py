@@ -1,0 +1,168 @@
+"""Fault ablation: fault-oblivious vs fault-aware provisioning.
+
+Produces the repo's ``BENCH_faults.json``.  Both plans are solved for
+the same workflow/deadline; the *oblivious* plan assumes a perfect
+cloud, the *aware* plan prices candidates under the declared
+:class:`~repro.faults.FaultModel` (expected retries inflate the task
+time tensor via :meth:`CompiledProblem.with_faults`).  Both plans are
+then executed under the *same* injected fault environment and compared
+on the paper's acceptance metric, P(makespan <= deadline).
+
+The payload also carries the determinism contract: every fault-injected
+``run_many`` batch is repeated with worker processes and must be
+bit-identical to the serial batch (``identical`` flags).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.bench.harness import BenchConfig
+from repro.bench.parallel import default_bench_workers, host_cpu_count
+from repro.cloud.simulator import CloudSimulator, ExecutionResult
+from repro.engine.plan import ProvisioningPlan
+from repro.faults import FaultModel, RecoveryPolicy
+from repro.parallel.executor import resolve_workers
+from repro.workflow.dag import Workflow
+from repro.workflow.generators import montage
+
+__all__ = ["bench_faults", "write_bench_faults_json"]
+
+
+def _deadline_fraction(results: list[ExecutionResult], deadline: float) -> float:
+    return sum(1 for r in results if r.meets_deadline(deadline)) / len(results)
+
+
+def _mean(values: list[float]) -> float:
+    return sum(values) / len(values) if values else 0.0
+
+
+def _plan_row(
+    label: str,
+    plan: ProvisioningPlan,
+    sim: CloudSimulator,
+    workflow: Workflow,
+    runs: int,
+    nworkers: int,
+    faults: FaultModel,
+    recovery: RecoveryPolicy,
+) -> dict:
+    def batch(workers: int) -> list[ExecutionResult]:
+        return sim.run_many(
+            workflow,
+            plan.assignment,
+            runs,
+            faults=faults,
+            recovery=recovery,
+            on_abort="record",
+            workers=workers,
+        )
+
+    serial = batch(1)
+    parallel = batch(nworkers)
+    completed = [r for r in serial if not r.aborted]
+    return {
+        "plan": label,
+        "planned_cost": plan.expected_cost,
+        "deadline": plan.deadline,
+        "runs": runs,
+        "aborted": sum(1 for r in serial if r.aborted),
+        "p_deadline": _deadline_fraction(serial, plan.deadline),
+        "mean_makespan": _mean([r.makespan for r in completed]),
+        "mean_cost": _mean([r.cost for r in completed]),
+        "mean_attempts": _mean(
+            [float(t.attempts) for r in completed for t in r.task_records]
+        ),
+        "identical": serial == parallel,
+    }
+
+
+def bench_faults(
+    config: BenchConfig | None = None,
+    workers: int | None = None,
+    runs: int = 60,
+    degrees: float = 2.0,
+    failure_rate: float = 0.12,
+    mtbf: float = float("inf"),
+    max_retries: int = 3,
+    deadline: float | str = "medium",
+) -> list[dict]:
+    """Two rows (oblivious/aware): same injected faults, same deadline."""
+    config = config or BenchConfig()
+    nworkers = resolve_workers(workers) if workers is not None else default_bench_workers()
+
+    faults = FaultModel(task_failure_rate=failure_rate, instance_mtbf=mtbf)
+    recovery = RecoveryPolicy(max_retries=max_retries)
+    wf = montage(degrees=degrees, seed=config.seed)
+    deco = config.deco()
+
+    oblivious = deco.schedule(
+        wf, deadline, deadline_percentile=config.deadline_percentile
+    )
+    aware = deco.schedule(
+        wf,
+        deadline,
+        deadline_percentile=config.deadline_percentile,
+        faults=faults,
+        recovery=recovery,
+    )
+
+    sim = config.simulator()
+    rows = [
+        _plan_row("oblivious", oblivious, sim, wf, runs, nworkers, faults, recovery),
+        _plan_row("aware", aware, sim, wf, runs, nworkers, faults, recovery),
+    ]
+    for row in rows:
+        row.update(
+            workers=nworkers,
+            failure_rate=failure_rate,
+            mtbf=mtbf,
+            max_retries=max_retries,
+        )
+    return rows
+
+
+def write_bench_faults_json(
+    path: str | Path,
+    config: BenchConfig | None = None,
+    workers: int | None = None,
+    runs: int = 60,
+    degrees: float = 2.0,
+    failure_rate: float = 0.12,
+    mtbf: float = float("inf"),
+    max_retries: int = 3,
+    rows: list[dict] | None = None,
+) -> dict:
+    """Write the machine-readable fault ablation (``BENCH_faults.json``).
+
+    The headline numbers are the two P(deadline met) estimates;
+    ``aware_beats_oblivious`` is the acceptance flag and ``identical``
+    aggregates the serial-vs-parallel determinism checks.
+    """
+    if rows is None:
+        rows = bench_faults(
+            config,
+            workers=workers,
+            runs=runs,
+            degrees=degrees,
+            failure_rate=failure_rate,
+            mtbf=mtbf,
+            max_retries=max_retries,
+        )
+    by_plan = {row["plan"]: row for row in rows}
+    payload = {
+        "benchmark": "fault_ablation",
+        "host_cpu_count": host_cpu_count(),
+        "workers": rows[0]["workers"],
+        "failure_rate": rows[0]["failure_rate"],
+        "max_retries": rows[0]["max_retries"],
+        "p_deadline_oblivious": by_plan["oblivious"]["p_deadline"],
+        "p_deadline_aware": by_plan["aware"]["p_deadline"],
+        "aware_beats_oblivious": by_plan["aware"]["p_deadline"]
+        > by_plan["oblivious"]["p_deadline"],
+        "identical": all(row["identical"] for row in rows),
+        "rows": rows,
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    return payload

@@ -8,8 +8,10 @@ Usage::
     python -m repro schedule --app montage --degrees 1 --deadline medium \
         --percentile 96
     python -m repro schedule --dax workflow.xml --deadline 36000
+    python -m repro schedule --faults --failure-rate 0.1 --execute
     python -m repro bench parallel [--workers 4] [--runs 100] [--out PATH]
     python -m repro bench solver
+    python -m repro bench faults [--failure-rate 0.12] [--mtbf 36000]
     python -m repro lint program.wlog [--format json] [--strict]
     python -m repro lint --bundled
     python -m repro calibrate
@@ -135,9 +137,17 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
     sched.add_argument("--workers", default=None, metavar="N", help=workers_help)
+    sched.add_argument("--faults", action="store_true",
+                       help="solve and execute under the declared fault model")
+    sched.add_argument("--failure-rate", type=float, default=0.05, metavar="F",
+                       help="per-attempt task failure probability (with --faults)")
+    sched.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                       help="instance mean time between crashes (with --faults)")
+    sched.add_argument("--on-abort", default="record", metavar="MODE",
+                       help="raise|skip|record for aborted --execute runs")
 
     bench = sub.add_parser("bench", help="emit machine-readable benchmark JSON")
-    bench.add_argument("target", choices=("parallel", "solver"),
+    bench.add_argument("target", choices=("parallel", "solver", "faults"),
                        help="which benchmark to run")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="output path (default: BENCH_<target>.json)")
@@ -145,12 +155,16 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--samples", type=int, default=150)
     bench.add_argument("--evals", type=int, default=1500)
     bench.add_argument("--runs", type=int, default=100,
-                       help="replications for the run_many site (parallel bench)")
+                       help="replications for the run_many site (parallel/faults bench)")
     bench.add_argument("--degrees", type=float, default=4.0,
-                       help="montage scale for the run_many site (parallel bench)")
+                       help="montage scale (parallel/faults bench)")
     bench.add_argument("--workers", default=None, metavar="N",
                        help="worker count to compare against serial "
                             "(default: min(4, host CPUs))")
+    bench.add_argument("--failure-rate", type=float, default=0.12, metavar="F",
+                       help="injected task failure probability (faults bench)")
+    bench.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
+                       help="injected instance MTBF (faults bench; default: no crashes)")
 
     lint = sub.add_parser("lint", help="statically analyze WLog program files")
     lint.add_argument("files", nargs="*", metavar="FILE",
@@ -196,6 +210,21 @@ def _workers_arg(args) -> int | None:
 
         return workers_from_env()
     return None
+
+
+def _fault_args(args):
+    """Validate ``--failure-rate`` / ``--mtbf``; returns ``(rate, mtbf)``.
+
+    Raises :class:`ValidationError` (one-line error, exit code 2 via the
+    main handler) on out-of-range values, mirroring ``--workers``.
+    """
+    rate = args.failure_rate
+    if not 0.0 <= rate < 1.0:
+        raise ValidationError(f"--failure-rate must be in [0, 1), got {rate:g}")
+    mtbf = float("inf") if args.mtbf is None else float(args.mtbf)
+    if not mtbf > 0:
+        raise ValidationError(f"--mtbf must be > 0 seconds, got {args.mtbf:g}")
+    return rate, mtbf
 
 
 def _config(args):
@@ -246,7 +275,18 @@ def _cmd_schedule(args, out) -> int:
 
     if not 0 < args.percentile <= 100:
         return _usage_error(out, f"--percentile must be in (0, 100], got {args.percentile:g}")
+    if args.on_abort not in ("raise", "skip", "record"):
+        return _usage_error(
+            out, f"--on-abort must be raise|skip|record, got {args.on_abort!r}"
+        )
     workers = _workers_arg(args)
+    faults = recovery = None
+    if args.faults:
+        from repro.faults import FaultModel, RecoveryPolicy
+
+        rate, mtbf = _fault_args(args)
+        faults = FaultModel(task_failure_rate=rate, instance_mtbf=mtbf)
+        recovery = RecoveryPolicy()
 
     catalog = ec2_catalog()
     if args.dax is not None:
@@ -272,9 +312,17 @@ def _cmd_schedule(args, out) -> int:
             return _usage_error(
                 out, f"--deadline must be tight|medium|loose or seconds, got {deadline!r}"
             )
-    plan = deco.schedule(workflow, deadline, deadline_percentile=args.percentile)
+    plan = deco.schedule(
+        workflow,
+        deadline,
+        deadline_percentile=args.percentile,
+        faults=faults,
+        recovery=recovery,
+    )
 
     print(f"workflow:        {workflow.name} ({len(workflow)} tasks)", file=out)
+    if faults is not None:
+        print(f"fault model:     {faults.describe()}", file=out)
     print(f"deadline:        {plan.deadline:.0f} s @ {plan.deadline_percentile:.1f}%", file=out)
     print(f"feasible:        {plan.feasible}", file=out)
     print(f"P(mk <= D):      {plan.probability:.3f}", file=out)
@@ -286,11 +334,20 @@ def _cmd_schedule(args, out) -> int:
 
     if args.execute:
         sim = CloudSimulator(catalog, RngService(args.seed + 1), deco.runtime_model)
-        summary = sim.summarize(
-            sim.run_many(workflow, dict(plan.assignment), 10, workers=workers)
+        results = sim.run_many(
+            workflow,
+            dict(plan.assignment),
+            10,
+            faults=faults,
+            recovery=recovery,
+            on_abort=args.on_abort,
+            workers=workers,
         )
+        summary = sim.summarize(results)
+        aborted = int(summary.get("num_aborted", 0))
+        note = f", {aborted} aborted" if aborted else ""
         print(f"measured (10 runs): ${summary['mean_cost']:.2f}, "
-              f"{summary['mean_makespan']:.0f} s mean makespan", file=out)
+              f"{summary['mean_makespan']:.0f} s mean makespan{note}", file=out)
     return 0 if plan.feasible else 1
 
 
@@ -391,6 +448,29 @@ def _cmd_bench(args, out) -> int:
             f"\nwrote {path} (workers={payload['workers']}, "
             f"cpus={payload['host_cpu_count']}, "
             f"run_many speedup={payload['speedup']:.2f}x, "
+            f"identical={payload['identical']})",
+            file=out,
+        )
+        return 0 if payload["identical"] else 1
+    if args.target == "faults":
+        from repro.bench.faults import bench_faults, write_bench_faults_json
+
+        rate, mtbf = _fault_args(args)
+        rows = bench_faults(
+            config,
+            workers=workers,
+            runs=args.runs,
+            degrees=args.degrees,
+            failure_rate=rate,
+            mtbf=mtbf,
+        )
+        path = Path(args.out or "BENCH_faults.json")
+        payload = write_bench_faults_json(path, rows=rows)
+        print(format_table(rows, "Fault ablation: oblivious vs fault-aware"), file=out)
+        print(
+            f"\nwrote {path} (P(deadline) oblivious="
+            f"{payload['p_deadline_oblivious']:.2f} vs aware="
+            f"{payload['p_deadline_aware']:.2f}, "
             f"identical={payload['identical']})",
             file=out,
         )

@@ -43,6 +43,35 @@ class CloudError(DecoError):
     """
 
 
+class ExecutionAborted(CloudError):
+    """A simulated run exhausted its retry budget and was abandoned.
+
+    Unlike a bare :class:`CloudError`, this carries the full context of
+    the abort so failures are debuggable and censorable: the task that
+    gave up, how many attempts it burned, the simulation clock at abort
+    time, and the :class:`~repro.cloud.simulator.TaskRecord`\\ s of every
+    task that *did* complete (``run_many(on_abort="record")`` turns
+    these into censored outcomes instead of killing the batch).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        task_id: str = "",
+        attempts: int = 0,
+        sim_time: float = 0.0,
+        task_records: tuple = (),
+        partial_result=None,
+    ):
+        self.task_id = task_id
+        self.attempts = attempts
+        self.sim_time = sim_time
+        self.task_records = tuple(task_records)
+        self.partial_result = partial_result
+        super().__init__(message)
+
+
 class WLogError(DecoError):
     """Base class for errors in the WLog declarative language layer."""
 

@@ -39,6 +39,13 @@ def _deadline_constraint(program: WLogProgram) -> ConsSpec | None:
     return None
 
 
+def _reliability_constraint(program: WLogProgram) -> ConsSpec | None:
+    for cons in program.constraints:
+        if cons.requirement_kind() == "reliability":
+            return cons
+    return None
+
+
 def try_compile(
     ir: ProbabilisticIR,
     num_samples: int = 200,
@@ -54,9 +61,13 @@ def try_compile(
     if not (isinstance(goal_pred, Struct) and goal_pred.functor in _GOAL_FUNCTORS):
         return None
     cons = _deadline_constraint(program)
-    if cons is None or len(program.constraints) != 1:
+    reliability = _reliability_constraint(program)
+    expected = 1 + (1 if reliability is not None else 0)
+    if cons is None or len(program.constraints) != expected:
         return None
     if not (isinstance(cons.predicate, Struct) and cons.predicate.functor in _CONS_FUNCTORS):
+        return None
+    if reliability is not None and program.fault_spec is None:
         return None
     if mat.catalog is None or len(mat.workflows) != 1:
         return None
@@ -67,7 +78,7 @@ def try_compile(
     percentile = float(to_python(cons.requirement.args[0]))
     deadline = float(to_python(cons.requirement.args[1]))
     (workflow,) = mat.workflows.values()
-    return CompiledProblem.compile(
+    problem = CompiledProblem.compile(
         workflow=workflow,
         catalog=mat.catalog,
         deadline=deadline,
@@ -76,6 +87,23 @@ def try_compile(
         seed=seed,
         region=region,
     )
+    if program.fault_spec is not None:
+        from repro.faults.recovery import RecoveryPolicy
+
+        rel_percentile = None
+        policy = RecoveryPolicy()
+        if reliability is not None:
+            assert reliability.requirement is not None
+            rel_percentile = float(to_python(reliability.requirement.args[0]))
+            policy = RecoveryPolicy(
+                max_retries=int(to_python(reliability.requirement.args[1]))
+            )
+        problem = problem.with_faults(
+            program.fault_spec.to_fault_model(),
+            recovery=policy,
+            reliability_percentile=rel_percentile,
+        )
+    return problem
 
 
 def compile_or_raise(
@@ -104,7 +132,8 @@ def compile_or_raise(
         raise WLogError(
             "program does not match the compilable scheduling pattern "
             "(minimize totalcost + one probabilistic deadline over maxtime "
-            "+ configs variables over one workflow and one cloud); "
+            "+ configs variables over one workflow and one cloud, optionally "
+            "a fault_model directive with one reliability constraint); "
             "evaluate it with ProbabilisticIR.evaluate instead"
         )
     return problem

@@ -19,6 +19,8 @@ from collections import OrderedDict
 from repro.common.errors import InfeasibleError, ValidationError
 from repro.cloud.instance_types import Catalog
 from repro.engine.compiler import compile_or_raise
+from repro.faults.model import FaultModel
+from repro.faults.recovery import RecoveryPolicy
 from repro.engine.plan import DeadlinePresets, ProvisioningPlan, deadline_presets
 from repro.solver.backends import CompiledProblem, get_backend
 from repro.solver.cache import MakespanCache
@@ -73,6 +75,9 @@ class Deco:
         children_per_state: int = 12,
         expand_per_iter: int = 8,
         require_feasible: bool = False,
+        faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
+        reliability_percentile: float | None = None,
     ):
         self.catalog = catalog
         self.seed = int(seed)
@@ -80,6 +85,12 @@ class Deco:
         self.backend = get_backend(backend, cache=self.cache)
         self.num_samples = int(num_samples)
         self.require_feasible = require_feasible
+        # Engine-level fault awareness: every schedule() call scores
+        # plans under this fault model (per-call kwargs override).
+        # Lives in spec() so worker processes solve fault-aware too.
+        self.faults = faults
+        self.recovery = recovery
+        self.reliability_percentile = reliability_percentile
         self.runtime_model = RuntimeModel(catalog)
         # (id(workflow), region) -> (workflow, base CompiledProblem); the
         # stored workflow reference pins the id and guards against reuse.
@@ -111,6 +122,9 @@ class Deco:
             "children_per_state": self._search.children_per_state,
             "expand_per_iter": self._search.expand_per_iter,
             "require_feasible": self.require_feasible,
+            "faults": self.faults,
+            "recovery": self.recovery,
+            "reliability_percentile": self.reliability_percentile,
         }
 
     @classmethod
@@ -140,16 +154,35 @@ class Deco:
         deadline_percentile: float = 96.0,
         region: str | None = None,
         seeds: tuple[PlanState, ...] = (),
+        faults: FaultModel | None = None,
+        recovery: RecoveryPolicy | None = None,
+        reliability_percentile: float | None = None,
     ) -> ProvisioningPlan:
         """Optimize instance configurations for one workflow.
 
         Minimizes expected monetary cost (paper Eq. 1) subject to the
         probabilistic deadline P(makespan <= D) >= p (Eq. 3).
+
+        With a fault model (per-call or engine-level), plans are scored
+        *under* the faults: sampled task times and Eq.-1 costs are
+        inflated by the analytic expected-retry/straggler/checkpoint
+        factors (:meth:`CompiledProblem.with_faults`), and
+        ``reliability_percentile`` adds the ``reliability(P, R)``
+        success-probability constraint.
         """
         d = self._resolve_deadline(workflow, deadline)
         problem = self._compiled(workflow, region).with_deadline(
             d, percentile=deadline_percentile
         )
+        f = faults if faults is not None else self.faults
+        r = recovery if recovery is not None else self.recovery
+        rp = (
+            reliability_percentile
+            if reliability_percentile is not None
+            else self.reliability_percentile
+        )
+        if f is not None:
+            problem = problem.with_faults(f, r, reliability_percentile=rp)
         return self._solve(problem, seeds=tuple(seeds) + self._warm_starts(problem))
 
     def _compiled(self, workflow: Workflow, region: str | None) -> CompiledProblem:

@@ -36,20 +36,31 @@ __all__ = ["MemberOutcome", "EnsembleDecision", "EnsembleDriver"]
 
 @dataclass(frozen=True)
 class MemberOutcome:
-    """Per-member result: the optimized plan and the admission decision."""
+    """Per-member result: the optimized plan and the admission decision.
+
+    ``plan`` is ``None`` when the member's solve failed outright (a
+    :class:`~repro.common.errors.DecoError` recorded-and-skipped by
+    :meth:`EnsembleDriver.member_plans`); such members are never
+    admitted but still appear in the decision so failures are visible.
+    """
 
     member: EnsembleMember
-    plan: ProvisioningPlan
+    plan: ProvisioningPlan | None
     admitted: bool
 
     @property
+    def solved(self) -> bool:
+        """Whether the member's scheduling optimization produced a plan."""
+        return self.plan is not None
+
+    @property
     def cost(self) -> float:
-        return self.plan.expected_cost
+        return self.plan.expected_cost if self.plan is not None else float("inf")
 
     @property
     def feasible(self) -> bool:
         """Whether the member's probabilistic deadline is achievable."""
-        return self.plan.feasible
+        return self.plan is not None and self.plan.feasible
 
 
 @dataclass(frozen=True)
@@ -87,19 +98,28 @@ class EnsembleDriver:
         ensemble: Ensemble,
         workers: int | None = None,
         progress: Callable[[int, int], None] | None = None,
-    ) -> dict[int, ProvisioningPlan]:
+        on_error: str = "record",
+    ) -> dict[int, ProvisioningPlan | None]:
         """Optimize every member under its own probabilistic deadline.
 
         Member solves are independent, so ``workers > 1`` fans them out
         over processes (each worker rebuilds a pristine engine from
         :meth:`~repro.engine.deco.Deco.spec`); the plans are identical
         to the serial ones for any worker count.
+
+        A member whose solve raises a
+        :class:`~repro.common.errors.DecoError` is recorded as ``None``
+        and skipped rather than killing the whole ensemble
+        (``on_error="record"``, the default); pass ``on_error="raise"``
+        to get the fail-fast behavior back.
         """
         jobs = [
             (m.priority, m.workflow, m.deadline, m.deadline_percentile)
             for m in ensemble.by_priority()
         ]
-        plans = solve_plans(self.deco, jobs, workers=workers, progress=progress)
+        plans = solve_plans(
+            self.deco, jobs, workers=workers, progress=progress, on_error=on_error
+        )
         return {priority: plans[priority] for priority, *_ in jobs}
 
     def decide(
@@ -119,7 +139,12 @@ class EnsembleDriver:
 
         # Only members whose probabilistic deadline is achievable at all
         # are candidates (Eq. 6); their admission costs are Eq.-1 costs.
-        candidates = [m.priority for m in ensemble.by_priority() if plans[m.priority].feasible]
+        # Members whose solve failed (plan None) are excluded outright.
+        candidates = [
+            m.priority
+            for m in ensemble.by_priority()
+            if plans[m.priority] is not None and plans[m.priority].feasible
+        ]
         cost_of = {p: plans[p].expected_cost for p in candidates}
         score_of = {p: 2.0 ** (-p) for p in candidates}
         budget = ensemble.budget
@@ -168,15 +193,22 @@ class EnsembleDriver:
             plan = plans[member.priority]
             rules.append(Rule(Struct("workflow", (w,))))
             rules.append(Rule(Struct("wscore", (w, Num(member.score)))))
-            rules.append(Rule(Struct("wcost", (w, Num(plan.expected_cost)))))
-            if plan.feasible:
+            # A failed solve (plan None) contributes a zero-cost,
+            # never-feasible member: it can't be admitted, so the cost
+            # never enters any admitted subset's total.
+            cost = plan.expected_cost if plan is not None else 0.0
+            rules.append(Rule(Struct("wcost", (w, Num(cost)))))
+            if plan is not None and plan.feasible:
                 rules.append(Rule(Struct("wfeasible", (w,))))
             rules.append(
                 Rule(Struct("run", (w, Num(1.0 if member.priority in admitted else 0.0))))
             )
         # The program's \+ wfeasible(W) needs the predicate defined even
         # when no member is feasible.
-        if not any(plans[m.priority].feasible for m in ensemble.members):
+        if not any(
+            plans[m.priority] is not None and plans[m.priority].feasible
+            for m in ensemble.members
+        ):
             rules.append(Rule(Struct("wfeasible", (Atom("no_feasible_member"),))))
         return rules
 
@@ -220,7 +252,11 @@ class EnsembleDriver:
             raise ValidationError("ensemble admission needs a finite budget")
         t0 = time.perf_counter()
         plans = dict(plans) if plans is not None else self.member_plans(ensemble)
-        candidates = [m.priority for m in ensemble.by_priority() if plans[m.priority].feasible]
+        candidates = [
+            m.priority
+            for m in ensemble.by_priority()
+            if plans[m.priority] is not None and plans[m.priority].feasible
+        ]
         cache: dict[frozenset[int], tuple[float, float, bool]] = {}
 
         def look(state: frozenset[int]) -> tuple[float, float, bool]:

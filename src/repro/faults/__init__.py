@@ -1,0 +1,35 @@
+"""First-class fault subsystem: declarative fault models and recovery.
+
+The paper's Monte Carlo evaluation treats cloud *performance* as the
+only source of uncertainty; real IaaS runs also lose instances mid-task
+(crash-stop hardware failures, spot-market revocations) and suffer
+transient task failures and stragglers.  This package makes those
+events first-class and declarative:
+
+* :class:`~repro.faults.model.FaultModel` -- *what can go wrong*:
+  per-attempt transient task failures (generalizing the simulator's old
+  ``failure_rate`` knob), per-instance crash-stop failures with
+  exponential MTBF, spot revocations driven by
+  :class:`~repro.cloud.spot.SpotPriceProcess`, and straggler slowdown
+  events.  All draws come from named
+  :class:`~repro.common.rng.RngService` streams so fault-injected runs
+  stay bit-identical at any worker count.
+* :class:`~repro.faults.recovery.RecoveryPolicy` -- *what we do about
+  it*: bounded retries with exponential backoff, resubmission to a
+  fresh instance, and an optional
+  :class:`~repro.faults.recovery.CheckpointModel` with configurable
+  overhead so a crashed task resumes from its last checkpoint instead
+  of from zero.
+
+Both sides also expose *analytic* expectations
+(:meth:`FaultModel.inflate`,
+:meth:`RecoveryPolicy.expected_attempts`) so the optimizer can score
+plans *under* the fault model (see
+:meth:`repro.solver.backends.CompiledProblem.with_faults`), closing the
+loop the ISSUE calls fault-aware provisioning.
+"""
+
+from repro.faults.model import FaultModel, SpotMarket
+from repro.faults.recovery import CheckpointModel, RecoveryPolicy
+
+__all__ = ["FaultModel", "SpotMarket", "CheckpointModel", "RecoveryPolicy"]

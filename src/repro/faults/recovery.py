@@ -1,0 +1,142 @@
+"""Recovery policies: retries, backoff, and checkpoint/restart.
+
+The simulator's old recovery discipline was a single ``max_retries``
+knob with immediate resubmission to the same instance.  This module
+generalizes it into a declarative policy object the simulator, the WMS
+queue and the optimizer all consume:
+
+* bounded retries (``max_retries``) with exponential backoff
+  (``backoff_base * backoff_factor**(attempt-1)``, capped);
+* resubmission to a *fresh* instance (``resubmit_fresh``), the Condor
+  "don't reuse the machine that just failed me" discipline;
+* an optional :class:`CheckpointModel`: tasks periodically checkpoint
+  (paying a write overhead), and an instance crash resumes the task
+  from its last completed checkpoint (paying a restore cost) instead of
+  re-executing from zero.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.common.errors import ValidationError
+
+__all__ = ["CheckpointModel", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class CheckpointModel:
+    """Periodic checkpoint/restart with configurable overhead.
+
+    ``interval`` seconds of useful work are followed by a checkpoint
+    write of ``overhead`` seconds; a resume after a crash costs
+    ``restore`` seconds before work continues.  Progress up to the last
+    *completed* checkpoint survives a crash; everything after it is
+    re-executed.
+    """
+
+    interval: float
+    overhead: float = 0.0
+    restore: float = 0.0
+
+    def __post_init__(self):
+        if self.interval <= 0:
+            raise ValidationError(f"checkpoint interval must be > 0, got {self.interval}")
+        if self.overhead < 0 or self.restore < 0:
+            raise ValidationError("checkpoint overhead/restore must be >= 0")
+
+    def num_checkpoints(self, work: float) -> int:
+        """Checkpoints written while executing ``work`` seconds of work.
+
+        Checkpoints land at interval boundaries strictly inside the
+        work; no checkpoint is written at completion.
+        """
+        if work <= 0:
+            return 0
+        return max(0, math.ceil(work / self.interval) - 1)
+
+    def wall_time(self, work: float) -> float:
+        """Wall-clock seconds to execute ``work`` seconds of useful work."""
+        return work + self.num_checkpoints(work) * self.overhead
+
+    def surviving_work(self, elapsed: float, work: float) -> float:
+        """Work preserved when a crash hits ``elapsed`` s into an attempt.
+
+        The k-th checkpoint completes at ``k * (interval + overhead)``
+        wall seconds; the surviving work is ``k * interval`` for the
+        largest completed k, capped at the attempt's total work.
+        """
+        if elapsed <= 0:
+            return 0.0
+        k = int(elapsed // (self.interval + self.overhead))
+        return min(k * self.interval, max(work, 0.0))
+
+    @property
+    def overhead_factor(self) -> float:
+        """Asymptotic wall-time inflation of steady-state checkpointing."""
+        return (self.interval + self.overhead) / self.interval
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What the execution substrate does when a task attempt fails."""
+
+    max_retries: int = 3
+    backoff_base: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_cap: float = 3600.0
+    resubmit_fresh: bool = False
+    checkpoint: CheckpointModel | None = None
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValidationError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.backoff_base < 0:
+            raise ValidationError(f"backoff_base must be >= 0, got {self.backoff_base}")
+        if self.backoff_factor < 1.0:
+            raise ValidationError(f"backoff_factor must be >= 1, got {self.backoff_factor}")
+        if self.backoff_cap < 0:
+            raise ValidationError(f"backoff_cap must be >= 0, got {self.backoff_cap}")
+
+    def backoff_delay(self, attempt: int) -> float:
+        """Delay before resubmitting after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValidationError(f"attempt must be >= 1, got {attempt}")
+        if self.backoff_base == 0.0:
+            return 0.0
+        return min(self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_cap)
+
+    def attempt_wall_time(self, work: float, resuming: bool = False) -> float:
+        """Wall-clock duration of one attempt executing ``work`` seconds.
+
+        Adds checkpoint-write overhead and, when ``resuming`` from a
+        previous crash, the one-time restore cost.
+        """
+        if self.checkpoint is None:
+            return work
+        t = self.checkpoint.wall_time(work)
+        if resuming:
+            t += self.checkpoint.restore
+        return t
+
+    def expected_attempts(self, failure_rate: float) -> float:
+        """Analytic expected attempt count under per-attempt failures.
+
+        Geometric series over the retry budget R = ``max_retries``:
+        ``sum_{k=0..R} f**k = (1 - f**(R+1)) / (1 - f)`` -- each failed
+        attempt burns its full sampled runtime, so this is also the
+        expected runtime-inflation factor from transient failures.
+        """
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValidationError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        if failure_rate == 0.0:
+            return 1.0
+        r = self.max_retries
+        return (1.0 - failure_rate ** (r + 1)) / (1.0 - failure_rate)
+
+    def success_probability(self, failure_rate: float) -> float:
+        """P(a task succeeds within the retry budget): ``1 - f**(R+1)``."""
+        if not 0.0 <= failure_rate < 1.0:
+            raise ValidationError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        return 1.0 - failure_rate ** (self.max_retries + 1)

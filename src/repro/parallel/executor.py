@@ -99,6 +99,17 @@ def _warn_serial_fallback(exc: BaseException) -> None:
     )
 
 
+def _warn_crash_recovery(exc: BaseException, missing: int) -> None:
+    # Unlike the environmental downgrade above this is per-incident: a
+    # crashed worker mid-map is always worth a line.
+    warnings.warn(
+        f"a worker process died mid-map ({type(exc).__name__}: {exc}); "
+        f"re-running the {missing} unfinished item(s) serially",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 class ParallelExecutor:
     """Map pure task functions over items with N worker processes.
 
@@ -144,11 +155,31 @@ class ParallelExecutor:
         items = list(items)
         if self.workers == 1 or len(items) <= 1:
             return self._map_serial(fn, items, progress)
+        results: dict[int, _R] = {}
         try:
-            return self._map_parallel(fn, items, progress)
-        except (NotImplementedError, OSError, BrokenProcessPool) as exc:
+            self._map_parallel(fn, items, progress, results)
+        except (NotImplementedError, OSError) as exc:
             _warn_serial_fallback(exc)
             return self._map_serial(fn, items, progress)
+        except BrokenProcessPool as exc:
+            if not results:
+                # The pool never produced anything -- indistinguishable
+                # from an environment that can't run pools at all.
+                _warn_serial_fallback(exc)
+                return self._map_serial(fn, items, progress)
+            # A worker died mid-map: keep every completed result and
+            # re-run only the unfinished items serially, once.  Task
+            # functions are pure, so the rerun is safe and the combined
+            # result list is identical to an undisturbed run.
+            missing = [i for i in range(len(items)) if i not in results]
+            _warn_crash_recovery(exc, len(missing))
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            for i in missing:
+                results[i] = fn(items[i])
+                if progress is not None:
+                    progress(len(results), len(items))
+        return [results[i] for i in range(len(items))]
 
     # ------------------------------------------------------------------
 
@@ -172,7 +203,14 @@ class ParallelExecutor:
         fn: Callable[[_T], _R],
         items: list[_T],
         progress: Callable[[int, int], None] | None,
-    ) -> list[_R]:
+        results: dict[int, _R],
+    ) -> None:
+        """Fill ``results[index]`` as futures complete.
+
+        Completed results are harvested immediately so that a later
+        worker crash (:class:`BrokenProcessPool`) loses nothing already
+        finished -- ``map_tasks`` re-runs only the missing indices.
+        """
         # Imported here so monkeypatching the module attribute in tests
         # (to simulate restricted sandboxes) also affects this path.
         from concurrent.futures import ProcessPoolExecutor
@@ -182,17 +220,29 @@ class ParallelExecutor:
             initializer=self._initializer,
             initargs=self._initargs,
         ) as pool:
-            futures = [pool.submit(fn, item) for item in items]
+            index_of = {}
+            futures = []
+            for i, item in enumerate(items):
+                fut = pool.submit(fn, item)
+                index_of[fut] = i
+                futures.append(fut)
             pending = set(futures)
-            done_count = 0
             while pending:
                 done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                broken: BaseException | None = None
                 for fut in done:
-                    fut.result()  # surface worker exceptions eagerly
-                    done_count += 1
+                    try:
+                        # Harvest (and surface task exceptions) eagerly.
+                        results[index_of[fut]] = fut.result()
+                    except BrokenProcessPool as exc:
+                        # Keep draining this batch: siblings that DID
+                        # complete still carry results worth keeping.
+                        broken = exc
+                        continue
                     if progress is not None:
-                        progress(done_count, len(futures))
-            return [fut.result() for fut in futures]
+                        progress(len(results), len(items))
+                if broken is not None:
+                    raise broken
 
 
 def map_tasks(

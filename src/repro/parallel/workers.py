@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.cloud.simulator import CloudSimulator, ExecutionResult
+from repro.common.errors import DecoError, ExecutionAborted, ValidationError
 from repro.common.rng import RngService
 from repro.parallel.executor import ParallelExecutor, resolve_workers
 from repro.workflow.dag import Workflow
@@ -31,6 +32,8 @@ from repro.workflow.runtime_model import RuntimeModel
 if TYPE_CHECKING:  # import cycle guard (parallel <-> engine), typing only
     from repro.engine.deco import Deco
     from repro.engine.plan import ProvisioningPlan
+    from repro.faults.model import FaultModel
+    from repro.faults.recovery import RecoveryPolicy
 
 __all__ = [
     "init_simulator_worker",
@@ -63,23 +66,47 @@ def init_simulator_worker(catalog, rngs: RngService, runtime_model: RuntimeModel
 
 
 def run_replication_chunk(
-    payload: tuple[Workflow, Mapping[str, str], str | None, Sequence[int], float, int],
+    payload: tuple[
+        Workflow, Mapping[str, str], str | None, Sequence[int], float, int,
+        "FaultModel | None", "RecoveryPolicy | None", str,
+    ],
 ) -> list[ExecutionResult]:
-    """Execute a contiguous chunk of run ids on this worker's simulator."""
-    workflow, assignment, region, run_ids, failure_rate, max_retries = payload
+    """Execute a contiguous chunk of run ids on this worker's simulator.
+
+    ``on_abort`` mirrors :meth:`CloudSimulator.run_many`: ``"raise"``
+    propagates an :class:`~repro.common.errors.ExecutionAborted` to the
+    parent, ``"skip"`` drops the aborted run from the chunk, and
+    ``"record"`` keeps its censored partial result.  Handling it here
+    (not in the parent) keeps skip/record batches alive without
+    shipping exceptions across the pool.
+    """
+    (
+        workflow, assignment, region, run_ids,
+        failure_rate, max_retries, faults, recovery, on_abort,
+    ) = payload
     if _SIMULATOR is None:
         raise RuntimeError("simulator worker used before init_simulator_worker")
-    return [
-        _SIMULATOR.execute(
-            workflow,
-            assignment,
-            region=region,
-            run_id=run_id,
-            failure_rate=failure_rate,
-            max_retries=max_retries,
-        )
-        for run_id in run_ids
-    ]
+    results: list[ExecutionResult] = []
+    for run_id in run_ids:
+        try:
+            results.append(
+                _SIMULATOR.execute(
+                    workflow,
+                    assignment,
+                    region=region,
+                    run_id=run_id,
+                    failure_rate=failure_rate,
+                    max_retries=max_retries,
+                    faults=faults,
+                    recovery=recovery,
+                )
+            )
+        except ExecutionAborted as exc:
+            if on_abort == "raise":
+                raise
+            if on_abort == "record" and exc.partial_result is not None:
+                results.append(exc.partial_result)
+    return results
 
 
 # Deco solves ----------------------------------------------------------------
@@ -94,13 +121,23 @@ def init_deco_worker(spec: Mapping[str, object]) -> None:
 
 
 def solve_plan_job(
-    payload: tuple[object, Workflow, float | str, float],
-) -> "tuple[object, ProvisioningPlan]":
-    """Solve one (key, workflow, deadline, percentile) job."""
-    key, workflow, deadline, percentile = payload
+    payload: tuple[object, Workflow, float | str, float, str],
+) -> "tuple[object, ProvisioningPlan | None]":
+    """Solve one (key, workflow, deadline, percentile, on_error) job.
+
+    With ``on_error="record"`` a failed solve returns ``(key, None)``
+    instead of raising -- failures stay data, never exceptions shipped
+    across the pool.
+    """
+    key, workflow, deadline, percentile, on_error = payload
     if _DECO is None:
         raise RuntimeError("deco worker used before init_deco_worker")
-    return key, _DECO.schedule(workflow, deadline, deadline_percentile=percentile)
+    try:
+        return key, _DECO.schedule(workflow, deadline, deadline_percentile=percentile)
+    except DecoError:
+        if on_error == "raise":
+            raise
+        return key, None
 
 
 def solve_plans(
@@ -108,24 +145,40 @@ def solve_plans(
     jobs: Iterable[tuple[object, Workflow, float | str, float]],
     workers: int | None = None,
     progress: Callable[[int, int], None] | None = None,
-) -> "dict[object, ProvisioningPlan]":
+    on_error: str = "raise",
+) -> "dict[object, ProvisioningPlan | None]":
     """Solve independent scheduling jobs, keyed by each job's key.
 
     The serial path reuses the caller's engine (keeping its compiled
     problem and makespan caches warm across calls); parallel workers
     rebuild cold engines from ``deco.spec()``.  Both yield identical
     plans because solves are cache-transparent.
+
+    ``on_error="record"`` maps a member whose solve raises a
+    :class:`~repro.common.errors.DecoError` (infeasible deadline, bad
+    workflow) to ``None`` instead of killing the whole batch --
+    :meth:`EnsembleDriver.member_plans` uses this to record-and-skip.
     """
     jobs = list(jobs)
+    if on_error not in ("raise", "record"):
+        raise ValidationError(f"on_error must be 'raise' or 'record', got {on_error!r}")
     nworkers = resolve_workers(workers)
     if nworkers == 1 or len(jobs) <= 1:
-        plans: dict[object, ProvisioningPlan] = {}
+        plans: "dict[object, ProvisioningPlan | None]" = {}
         for key, workflow, deadline, percentile in jobs:
-            plans[key] = deco.schedule(workflow, deadline, deadline_percentile=percentile)
+            try:
+                plans[key] = deco.schedule(
+                    workflow, deadline, deadline_percentile=percentile
+                )
+            except DecoError:
+                if on_error == "raise":
+                    raise
+                plans[key] = None
             if progress is not None:
                 progress(len(plans), len(jobs))
         return plans
     executor = ParallelExecutor(
         nworkers, initializer=init_deco_worker, initargs=(deco.spec(),)
     )
-    return dict(executor.map_tasks(solve_plan_job, jobs, progress=progress))
+    payloads = [(*job, on_error) for job in jobs]
+    return dict(executor.map_tasks(solve_plan_job, payloads, progress=progress))

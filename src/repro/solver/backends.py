@@ -49,6 +49,8 @@ import numpy as np
 from repro.common.errors import SolverError
 from repro.common.units import SECONDS_PER_HOUR
 from repro.cloud.instance_types import Catalog
+from repro.faults.model import FaultModel
+from repro.faults.recovery import RecoveryPolicy
 from repro.solver.cache import MakespanCache
 from repro.solver.levels import LevelSchedule
 from repro.solver.state import PlanState, StateEval
@@ -86,6 +88,13 @@ class CompiledProblem:
     #: i's samples contiguously, so the backend's lane gather is K*N
     #: contiguous row copies instead of element-wise flat indexing.
     tensor_taskmajor: np.ndarray | None = None
+    #: Fault expansion (set by :meth:`with_faults`): the declared fault
+    #: model + recovery policy whose analytic expectation inflated the
+    #: tensor, and the minimum plan success probability (0.0 = no
+    #: reliability constraint).
+    faults: FaultModel | None = None
+    recovery: RecoveryPolicy | None = None
+    reliability_required: float = 0.0
 
     def __post_init__(self):
         if self.levels is None:
@@ -185,7 +194,63 @@ class CompiledProblem:
             ),
             levels=self.levels,
             tensor_taskmajor=self.tensor_taskmajor,
+            faults=self.faults,
+            recovery=self.recovery,
+            reliability_required=self.reliability_required,
         )
+
+    def with_faults(
+        self,
+        faults: FaultModel,
+        recovery: RecoveryPolicy | None = None,
+        reliability_percentile: float | None = None,
+    ) -> "CompiledProblem":
+        """Fault-aware derivation: score plans *under* the fault model.
+
+        Every sampled task time (and the Eq.-1 mean times, so expected
+        cost bills the retries too) is inflated by the analytic
+        expectation of :meth:`FaultModel.inflate` -- expected-retry
+        geometric series over the retry budget, expected straggler
+        slowdown, steady-state checkpoint overhead, first-order
+        crash-rework.  ``reliability_percentile`` (e.g. ``99.0``)
+        additionally requires the plan's analytic success probability
+        to reach that level (the WLog ``reliability(P, R)``
+        constraint); the retry budget ``R`` lives on ``recovery``.
+
+        The inflated tensor is a *new* array, so makespan caches keep
+        fault-aware and fault-oblivious rows separate by construction.
+        """
+        recovery = recovery if recovery is not None else RecoveryPolicy()
+        if reliability_percentile is not None and not 0 < reliability_percentile <= 100:
+            raise SolverError(
+                f"reliability percentile must be in (0, 100], got {reliability_percentile}"
+            )
+        tensor = faults.inflate(self.tensor, recovery)
+        tensor.setflags(write=False)
+        return CompiledProblem(
+            workflow=self.workflow,
+            catalog=self.catalog,
+            mean_times=faults.inflate(self.mean_times, recovery),
+            tensor=tensor,
+            prices=self.prices,
+            parent_indices=self.parent_indices,
+            deadline=self.deadline,
+            required_probability=self.required_probability,
+            levels=self.levels,
+            faults=faults,
+            recovery=recovery,
+            reliability_required=(
+                0.0 if reliability_percentile is None else reliability_percentile / 100.0
+            ),
+        )
+
+    @property
+    def plan_success_probability(self) -> float:
+        """Analytic P(every task succeeds within its retry budget)."""
+        if self.faults is None:
+            return 1.0
+        recovery = self.recovery if self.recovery is not None else RecoveryPolicy()
+        return self.faults.plan_success_probability(self.num_tasks, recovery)
 
 
 class EvaluationBackend(abc.ABC):
@@ -227,11 +292,16 @@ class EvaluationBackend(abc.ABC):
         probs = np.mean(makespans <= problem.deadline, axis=1)
         means = makespans.mean(axis=1)
         threshold = problem.required_probability - 1e-12
+        # The reliability constraint is analytic and assignment-free
+        # (per-task success ** N), so it gates the whole problem at once.
+        reliable = (
+            problem.plan_success_probability >= problem.reliability_required - 1e-12
+        )
         return [
             StateEval(
                 cost=float(costs[b]),
                 probability=float(probs[b]),
-                feasible=bool(probs[b] >= threshold),
+                feasible=bool(probs[b] >= threshold) and reliable,
                 mean_makespan=float(means[b]),
             )
             for b in range(len(states))

@@ -17,10 +17,14 @@ Checks (catalog in :data:`repro.wlog.diagnostics.CHECKS`):
   (:data:`repro.wlog.builtins.BUILTINS`), the fact families an
   ``import`` materializes (:mod:`repro.wlog.imports`), the declared
   decision variable, or caller-supplied external facts;
-* **E203/E204/W302/W306 directive signatures** -- ``deadline/2`` and
-  ``budget/2`` shapes and argument domains (percentile in (0, 100],
-  positive deadline, nonnegative budget), atom-argument ``import``/
-  ``enabled`` forms, known solver hints;
+* **E203/E204/W302/W306 directive signatures** -- ``deadline/2``,
+  ``budget/2`` and ``reliability/2`` shapes and argument domains
+  (percentile in (0, 100], positive deadline, nonnegative budget,
+  integer retry budget), atom-argument ``import``/``enabled`` forms,
+  known solver hints;
+* **E211 fault model** -- ``fault_model(Rate, Mtbf)`` argument domains
+  (rate in [0, 1), positive MTBF) and the requirement that a
+  ``reliability`` constraint declares its fault environment;
 * **E205/E206 variable safety** -- variables unbound at their first use
   inside ``is``/arithmetic comparisons, and variables occurring free
   under ``\\+`` (negation as failure cannot bind them);
@@ -57,7 +61,7 @@ from repro.wlog.imports import (
     WORKFLOW_FACT_INDICATORS,
 )
 from repro.wlog.parser import ParsedProgram, parse_program
-from repro.wlog.program import ConsSpec, Directive, GoalSpec, VarSpec, WLogProgram
+from repro.wlog.program import ConsSpec, Directive, FaultSpec, GoalSpec, VarSpec, WLogProgram
 from repro.wlog.terms import Atom, Num, Rule, Struct, Term, Var
 
 __all__ = ["analyze_program", "check_program", "pragma_assumes"]
@@ -89,7 +93,7 @@ _TERM_COMPARE = frozenset({"==", "\\==", "="})
 KNOWN_HINTS = frozenset({"astar"})
 
 #: Requirement built-ins: functor -> (min bound allowed inclusive?).
-_REQUIREMENTS = ("deadline", "budget")
+_REQUIREMENTS = ("deadline", "budget", "reliability")
 
 _PRAGMA_RE = re.compile(r"/\*\s*lint:\s*assume\s+([^*]*?)\s*\*/")
 _PRAGMA_ITEM_RE = re.compile(r"([a-z][A-Za-z0-9_]*)\s*/\s*(\d+)")
@@ -178,6 +182,7 @@ class _Analyzer:
         self.goals: list[Directive] = [d for d in self.directives if d.kind == "goal"]
         self.cons: list[Directive] = [d for d in self.directives if d.kind == "cons"]
         self.vars: list[Directive] = [d for d in self.directives if d.kind == "var"]
+        self.faults: list[Directive] = [d for d in self.directives if d.kind == "fault_model"]
 
         self.defined: dict[Indicator, list[Rule]] = {}
         for rule in self.rules:
@@ -209,7 +214,7 @@ class _Analyzer:
     # Directive checks ------------------------------------------------------
 
     def check_directives(self) -> None:
-        for extras in (self.goals[1:], self.vars[1:]):
+        for extras in (self.goals[1:], self.vars[1:], self.faults[1:]):
             for d in extras:
                 kind = d.kind
                 self.emit(
@@ -218,6 +223,21 @@ class _Analyzer:
                     f"only the first is meaningful",
                     d.span,
                 )
+        for d in self.faults:
+            spec = d.payload
+            if isinstance(spec, FaultSpec):
+                if not 0.0 <= spec.rate < 1.0:
+                    self.emit(
+                        "E211",
+                        f"fault_model failure rate must be in [0, 1), got {spec.rate:g}",
+                        d.span,
+                    )
+                if spec.mtbf <= 0.0:
+                    self.emit(
+                        "E211",
+                        f"fault_model MTBF must be > 0 seconds, got {spec.mtbf:g}",
+                        d.span,
+                    )
         if self.registry is not None:
             known = self.registry.known_names()
             for d in self.imports:
@@ -274,7 +294,7 @@ class _Analyzer:
             self.emit(
                 "E203",
                 f"unsupported constraint requirement {name!r}; "
-                f"expected deadline/2 or budget/2",
+                f"expected deadline/2, budget/2 or reliability/2",
                 req_span,
             )
             return
@@ -287,6 +307,13 @@ class _Analyzer:
                 req_span,
             )
             return
+        if name == "reliability" and not self.faults:
+            self.emit(
+                "E211",
+                "reliability constraint needs a fault_model(Rate, Mtbf) "
+                "directive declaring what can fail",
+                req_span,
+            )
         level, bound = req.args
         if not isinstance(level, Num):
             self.emit(
@@ -319,6 +346,14 @@ class _Analyzer:
             self.emit("E203", f"deadline bound must be > 0, got {bound!r}", req_span)
         elif name == "budget" and float(bound.value) < 0.0:
             self.emit("E203", f"budget bound must be >= 0, got {bound!r}", req_span)
+        elif name == "reliability" and (
+            float(bound.value) < 0.0 or float(bound.value) != int(bound.value)
+        ):
+            self.emit(
+                "E203",
+                f"reliability retry budget must be a nonnegative integer, got {bound!r}",
+                req_span,
+            )
 
     # Rule-shape checks -----------------------------------------------------
 
@@ -360,6 +395,10 @@ class _Analyzer:
         known |= self.import_fact_indicators()
         known |= self.decision_indicators()
         known |= self.extra
+        if self.faults:
+            # The engine synthesizes successprob/1 (the plan's analytic
+            # success probability) whenever a fault model is declared.
+            known.add(("successprob", 1))
 
         candidate_names = sorted(
             {n for (n, _a) in known} | {n for (n, _a) in BUILTINS}

@@ -37,7 +37,7 @@ CHECKS: dict[str, tuple[str, str, str]] = {
     "E101": ("syntax-error", ERROR, "the source text could not be tokenized or parsed"),
     "E201": ("undefined-predicate", ERROR, "a called predicate is neither defined, built-in, imported nor declared"),
     "E202": ("arity-mismatch", ERROR, "a predicate is called with an arity no definition or built-in accepts"),
-    "E203": ("bad-requirement", ERROR, "a cons requirement is not a well-formed deadline/2 or budget/2"),
+    "E203": ("bad-requirement", ERROR, "a cons requirement is not a well-formed deadline/2, budget/2 or reliability/2"),
     "E204": ("malformed-directive", ERROR, "an import/enabled form does not take a plain atom argument"),
     "E205": ("unbound-arithmetic", ERROR, "a variable is unbound at its first use inside is/2 or a comparison"),
     "E206": ("unsafe-negation", ERROR, "a variable occurs free under \\+ (negation as failure cannot bind it)"),
@@ -45,6 +45,7 @@ CHECKS: dict[str, tuple[str, str, str]] = {
     "E208": ("duplicate-directive", ERROR, "the program declares more than one goal or var directive"),
     "E209": ("detached-objective", ERROR, "the goal/cons variable does not occur in its measured predicate"),
     "E210": ("unknown-import", ERROR, "an import names a source not present in the registry"),
+    "E211": ("bad-fault-model", ERROR, "a fault_model directive is malformed, or reliability lacks a fault_model"),
     "W301": ("singleton-variable", WARNING, "a named variable occurs exactly once in its clause"),
     "W302": ("unknown-hint", WARNING, "enabled(...) names a solver hint the engine does not know"),
     "W303": ("duplicate-rule", WARNING, "a rule repeats an earlier rule up to variable renaming"),

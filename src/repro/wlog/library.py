@@ -53,14 +53,50 @@ def scheduling_program(
     percentile: float = 95.0,
     deadline_seconds: float = 36_000.0,
     astar: bool = False,
+    failure_rate: float | None = None,
+    mtbf_seconds: float | None = None,
+    reliability_percentile: float | None = None,
+    max_retries: int = 3,
 ) -> str:
     """The workflow scheduling program of the paper's Example 1.
 
     Minimizes total monetary cost subject to the probabilistic deadline
     ``P(makespan <= deadline) >= percentile%``.
+
+    Passing ``failure_rate`` (and optionally ``mtbf_seconds``) adds a
+    ``fault_model(Rate, Mtbf)`` directive so the plan is priced under
+    retries; adding ``reliability_percentile`` further requires
+    ``P(all tasks succeed within max_retries retries) >= P%`` via a
+    ``reliability(P, R)`` constraint.
     """
     if not 0 < percentile <= 100:
         raise ValidationError(f"percentile must be in (0, 100], got {percentile}")
+    if reliability_percentile is not None and failure_rate is None:
+        raise ValidationError(
+            "reliability_percentile requires failure_rate (a fault_model directive)"
+        )
+    faults = ""
+    if failure_rate is not None:
+        if not 0 <= failure_rate < 1:
+            raise ValidationError(f"failure_rate must be in [0, 1), got {failure_rate}")
+        mtbf = float("inf") if mtbf_seconds is None else float(mtbf_seconds)
+        if not mtbf > 0:
+            raise ValidationError(f"mtbf_seconds must be > 0, got {mtbf_seconds}")
+        # The lexer has no scientific notation; an effectively-infinite
+        # MTBF is spelled as a plain (huge) decimal literal.
+        mtbf_text = f"{min(mtbf, 1e18):.1f}"
+        faults = f"fault_model({failure_rate!r}, {mtbf_text}).\n"
+        if reliability_percentile is not None:
+            if not 0 < reliability_percentile <= 100:
+                raise ValidationError(
+                    f"reliability_percentile must be in (0, 100], got {reliability_percentile}"
+                )
+            if max_retries < 0:
+                raise ValidationError(f"max_retries must be >= 0, got {max_retries}")
+            faults += (
+                f"cons P in successprob(P) satisfies "
+                f"reliability({reliability_percentile:g}%, {int(max_retries)}).\n"
+            )
     hints = ""
     if astar:
         hints = (
@@ -74,7 +110,7 @@ import({workflow}).
 goal minimize Ct in totalcost(Ct).
 cons T in maxtime(Path, T) satisfies deadline({percentile:g}%, {_fmt_seconds(deadline_seconds)}).
 var configs(Tid, Vid, Con) forall task(Tid) and vm(Vid).
-{hints}
+{faults}{hints}
 /* calculate the time on the edge from X to Y */
 path(X, Y, Y, Tp) :- edge(X, Y), exetime(X, Vid, T), configs(X, Vid, Con),
     Con == 1, Tp is T.
@@ -162,6 +198,15 @@ def bundled_programs() -> dict[str, tuple[str, frozenset[tuple[str, int]]]]:
     return {
         "scheduling": (scheduling_program(), frozenset()),
         "scheduling-astar": (scheduling_program(astar=True), frozenset()),
+        "scheduling-faults": (
+            scheduling_program(
+                failure_rate=0.05,
+                mtbf_seconds=36_000.0,
+                reliability_percentile=99.0,
+                max_retries=3,
+            ),
+            frozenset(),
+        ),
         "ensemble": (ensemble_program(budget=100.0), ENSEMBLE_DRIVER_FACTS),
         "followcost": (followcost_program(36_000.0), FOLLOWCOST_DRIVER_FACTS),
     }

@@ -24,7 +24,7 @@ from typing import NoReturn
 from repro.common.errors import WLogSyntaxError
 from repro.wlog.diagnostics import Span
 from repro.wlog.lexer import Token, tokenize
-from repro.wlog.program import ConsSpec, Directive, GoalSpec, VarSpec
+from repro.wlog.program import ConsSpec, Directive, FaultSpec, GoalSpec, VarSpec
 from repro.wlog.terms import NIL, Atom, Num, Rule, Struct, Term, Var, make_list
 
 __all__ = ["parse_program", "parse_term", "parse_query", "ParsedProgram"]
@@ -144,6 +144,12 @@ class _Parser:
             arg = term.args[0]
             if isinstance(arg, Atom):
                 return Directive("enabled", arg.name)
+        if isinstance(term, Struct) and term.indicator == ("fault_model", 2):
+            rate, mtbf = term.args
+            if isinstance(rate, Num) and isinstance(mtbf, Num):
+                return Directive(
+                    "fault_model", FaultSpec(rate=float(rate.value), mtbf=float(mtbf.value))
+                )
         return None
 
     # Directives ----------------------------------------------------------

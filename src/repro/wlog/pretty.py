@@ -82,6 +82,17 @@ def _format_cons(spec: ConsSpec) -> str:
     return "cons " + " ".join(parts) + "."
 
 
+def _format_fault_num(value: float) -> str:
+    # The lexer has no scientific notation, so huge values (e.g. an
+    # effectively-infinite MTBF) must be spelled as plain decimals.
+    if value == float("inf"):
+        value = 1e18
+    text = format_term(Num(value))
+    if "e" in text or "E" in text:
+        text = f"{value:.1f}"
+    return text
+
+
 def _format_var(spec: VarSpec) -> str:
     text = f"var {format_term(spec.declaration)}"
     if spec.domains:
@@ -104,6 +115,12 @@ def format_program(program: WLogProgram) -> str:
         lines.append(_format_cons(cons))
     if program.var_spec is not None:
         lines.append(_format_var(program.var_spec))
+    if program.fault_spec is not None:
+        spec = program.fault_spec
+        lines.append(
+            f"fault_model({_format_fault_num(spec.rate)}, "
+            f"{_format_fault_num(spec.mtbf)})."
+        )
     for feature in program.enabled:
         lines.append(f"enabled({_atom_text(feature)}).")
     if lines and program.rules:

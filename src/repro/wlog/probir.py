@@ -109,17 +109,46 @@ class ProbabilisticIR:
 
     @staticmethod
     def _constraint_threshold(cons: ConsSpec) -> tuple[float, float, str]:
-        """Decode a requirement into (percentile, bound, kind)."""
+        """Decode a requirement into (percentile, bound, kind).
+
+        For ``reliability(P, R)`` the bound is the retry budget ``R``.
+        """
         req = cons.requirement
         if req is None:
             return (100.0, float("nan"), "boolean")
-        if isinstance(req, Struct) and req.functor in ("deadline", "budget") and req.arity == 2:
+        if (
+            isinstance(req, Struct)
+            and req.functor in ("deadline", "budget", "reliability")
+            and req.arity == 2
+        ):
             p = to_python(req.args[0])
             bound = to_python(req.args[1])
             if not isinstance(p, (int, float)) or not isinstance(bound, (int, float)):
                 raise WLogError(f"malformed requirement {req!r}")
             return (float(p), float(bound), req.functor)
         raise WLogError(f"unsupported constraint requirement: {req!r}")
+
+    def _reliability_truth(self, cons: ConsSpec) -> bool:
+        """Whether the declared fault model meets a reliability level.
+
+        Analytic, not sampled: per-task success within the retry budget
+        is the geometric tail ``1 - f**(R+1)``, and the plan succeeds if
+        every task of every imported workflow does.  The same closed
+        form gates the compiled path
+        (:attr:`repro.solver.backends.CompiledProblem.plan_success_probability`).
+        """
+        from repro.faults.recovery import RecoveryPolicy
+
+        level, retries, _kind = self._constraint_threshold(cons)
+        spec = self.program.fault_spec
+        if spec is None:
+            raise WLogError(
+                "reliability constraint needs a fault_model(Rate, Mtbf) directive"
+            )
+        policy = RecoveryPolicy(max_retries=int(retries))
+        num_tasks = sum(len(wf) for wf in self.materialized.workflows.values()) or 1
+        prob = spec.to_fault_model().plan_success_probability(num_tasks, policy)
+        return prob >= level / 100.0 - 1e-12
 
     def _eval_once(self, db: Database, assignment_rules: tuple[Rule, ...]) -> tuple[float, list[bool]]:
         """Evaluate goal value + constraint truths on one realization."""
@@ -137,6 +166,9 @@ class ProbabilisticIR:
             _, bound, kind = self._constraint_threshold(cons)
             if kind == "boolean":
                 truths.append(engine.ask(cons.predicate))
+                continue
+            if kind == "reliability":
+                truths.append(self._reliability_truth(cons))
                 continue
             if cons.variable is None:
                 raise WLogError("deadline/budget constraint needs a measured variable")

@@ -18,7 +18,7 @@ from repro.wlog.terms import Atom, Rule, Struct, Term, Var
 if TYPE_CHECKING:  # pragma: no cover
     from repro.wlog.diagnostics import Span
 
-__all__ = ["Directive", "GoalSpec", "ConsSpec", "VarSpec", "WLogProgram"]
+__all__ = ["Directive", "GoalSpec", "ConsSpec", "VarSpec", "FaultSpec", "WLogProgram"]
 
 
 @dataclass(frozen=True)
@@ -73,8 +73,31 @@ class VarSpec:
 
 
 @dataclass(frozen=True)
+class FaultSpec:
+    """``fault_model(0.05, 36000).`` -- declared failure environment.
+
+    ``rate`` is the per-attempt transient task failure probability,
+    ``mtbf`` the mean time between instance crash-stop failures in
+    seconds (``inf`` = crashes disabled).  Together with a
+    ``reliability(P, R)`` constraint this is the declarative surface of
+    :class:`repro.faults.FaultModel` -- the engine scores plans under
+    the declared faults instead of assuming a perfect cloud.
+    """
+
+    rate: float
+    mtbf: float
+
+    def to_fault_model(self):
+        """The :class:`repro.faults.FaultModel` this spec declares."""
+        from repro.faults.model import FaultModel
+
+        return FaultModel(task_failure_rate=self.rate, instance_mtbf=self.mtbf)
+
+
+@dataclass(frozen=True)
 class Directive:
-    """A classified directive: kind in {import, enabled, goal, cons, var}.
+    """A classified directive: kind in {import, enabled, goal, cons, var,
+    fault_model}.
 
     ``span`` locates the directive in the source text when it came from
     the parser; it never participates in equality.
@@ -85,7 +108,7 @@ class Directive:
     span: Optional["Span"] = field(default=None, compare=False, repr=False)
 
     def __post_init__(self):
-        if self.kind not in ("import", "enabled", "goal", "cons", "var"):
+        if self.kind not in ("import", "enabled", "goal", "cons", "var", "fault_model"):
             raise WLogError(f"unknown directive kind {self.kind!r}")
 
 
@@ -116,6 +139,7 @@ class WLogProgram:
         self.goal: GoalSpec | None = None
         self.constraints: tuple[ConsSpec, ...] = ()
         self.var_spec: VarSpec | None = None
+        self.fault_spec: FaultSpec | None = None
 
         imports: list[str] = []
         enabled: list[str] = []
@@ -138,6 +162,11 @@ class WLogProgram:
                     raise WLogError("program declares more than one var specification")
                 assert isinstance(d.payload, VarSpec)
                 self.var_spec = d.payload
+            elif d.kind == "fault_model":
+                if self.fault_spec is not None:
+                    raise WLogError("program declares more than one fault_model")
+                assert isinstance(d.payload, FaultSpec)
+                self.fault_spec = d.payload
         self.imports = tuple(imports)
         self.enabled = tuple(enabled)
         self.constraints = tuple(constraints)

@@ -1,0 +1,51 @@
+"""Smoke test for the fault ablation driver (tiny configuration)."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig, bench_faults, write_bench_faults_json
+
+
+@pytest.fixture(scope="module")
+def config():
+    return BenchConfig(seed=7, num_samples=40, max_evaluations=200)
+
+
+@pytest.fixture(scope="module")
+def rows(config):
+    return bench_faults(
+        config, workers=2, runs=8, degrees=1.0, failure_rate=0.12, max_retries=3
+    )
+
+
+class TestBenchFaults:
+    def test_two_labeled_rows(self, rows):
+        assert [r["plan"] for r in rows] == ["oblivious", "aware"]
+
+    def test_rows_carry_fault_parameters(self, rows):
+        for row in rows:
+            assert row["failure_rate"] == 0.12
+            assert row["max_retries"] == 3
+            assert row["runs"] == 8
+
+    def test_serial_parallel_identical(self, rows):
+        assert all(row["identical"] for row in rows)
+
+    def test_probabilities_are_fractions(self, rows):
+        for row in rows:
+            assert 0.0 <= row["p_deadline"] <= 1.0
+            assert row["mean_attempts"] >= 1.0 or row["aborted"] == row["runs"]
+
+    def test_payload_shape_and_roundtrip(self, rows, config, tmp_path):
+        out = tmp_path / "BENCH_faults.json"
+        payload = write_bench_faults_json(out, config, rows=rows)
+        assert payload["benchmark"] == "fault_ablation"
+        assert set(payload) >= {
+            "p_deadline_oblivious",
+            "p_deadline_aware",
+            "aware_beats_oblivious",
+            "identical",
+            "rows",
+        }
+        assert json.loads(out.read_text()) == payload

@@ -58,6 +58,57 @@ class TestTryCompile:
         with pytest.raises(WLogError, match="compilable scheduling pattern"):
             compile_or_raise(ir_for(src, registry))
 
+
+class TestFaultAwareCompile:
+    def faulty_src(self, **kwargs):
+        defaults = dict(
+            failure_rate=0.05,
+            mtbf_seconds=36_000.0,
+            reliability_percentile=99.0,
+            max_retries=3,
+        )
+        defaults.update(kwargs)
+        return scheduling_program(**defaults)
+
+    def test_fault_model_and_reliability_compile(self, registry):
+        problem = try_compile(ir_for(self.faulty_src(), registry), num_samples=8)
+        assert problem is not None
+        assert problem.faults is not None
+        assert problem.faults.task_failure_rate == 0.05
+        assert problem.recovery.max_retries == 3
+        assert problem.reliability_required == pytest.approx(0.99)
+        assert problem.plan_success_probability > 0.99
+
+    def test_fault_tensor_is_inflated(self, registry):
+        plain = try_compile(ir_for(scheduling_program(), registry), num_samples=8)
+        faulty = try_compile(ir_for(self.faulty_src(), registry), num_samples=8)
+        assert (faulty.tensor > plain.tensor).all()
+        assert (faulty.mean_times > plain.mean_times).all()
+
+    def test_fault_model_without_reliability_compiles(self, registry):
+        src = self.faulty_src(reliability_percentile=None)
+        problem = try_compile(ir_for(src, registry), num_samples=8)
+        assert problem is not None
+        assert problem.faults is not None
+        assert problem.reliability_required == 0.0
+
+    def test_plain_program_has_no_faults(self, registry):
+        problem = try_compile(ir_for(scheduling_program(), registry), num_samples=8)
+        assert problem.faults is None
+        assert problem.plan_success_probability == 1.0
+
+    def test_reliability_without_fault_model_rejected(self, registry):
+        src = "\n".join(
+            l
+            for l in self.faulty_src().splitlines()
+            if not l.startswith("fault_model")
+        )
+        assert try_compile(ir_for(src, registry)) is None
+
+    def test_two_non_reliability_constraints_still_rejected(self, registry):
+        src = scheduling_program() + "\ncons B in totalcost(B) satisfies budget(100.0, 1).\n"
+        assert try_compile(ir_for(src, registry)) is None
+
     def test_region_override(self, registry, catalog):
         ir = ir_for(scheduling_program(), registry)
         us = try_compile(ir, num_samples=4)

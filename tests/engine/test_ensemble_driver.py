@@ -95,3 +95,66 @@ class TestDecide:
         assert len(decision.outcomes) == len(ensemble)
         admitted = {o.member.priority for o in decision.outcomes if o.admitted}
         assert admitted == set(decision.admitted_priorities)
+
+
+class TestRecordAndSkip:
+    @pytest.fixture(scope="class")
+    def driver(self, catalog):
+        # require_feasible makes an unmeetable deadline raise
+        # InfeasibleError instead of returning an infeasible plan.
+        return EnsembleDriver(
+            Deco(
+                catalog,
+                seed=3,
+                num_samples=40,
+                max_evaluations=150,
+                require_feasible=True,
+            )
+        )
+
+    @pytest.fixture(scope="class")
+    def poisoned(self, driver):
+        """An ensemble whose priority-1 member has an unsolvable deadline."""
+        base = make_ensemble("uniform_unsorted", montage, 3, sizes=(15, 25), seed=9)
+        deco = driver.deco
+
+        def deadline_for(member):
+            if member.priority == 1:
+                return 1e-6  # no plan can finish this fast: InfeasibleError
+            return deco.presets(member.workflow).medium
+
+        return base.with_constraints(
+            budget=float("1e18"), deadline_for=deadline_for, deadline_percentile=96.0
+        )
+
+    def test_record_skips_failed_member(self, driver, poisoned):
+        plans = driver.member_plans(poisoned, on_error="record")
+        assert set(plans) == {0, 1, 2}
+        assert plans[1] is None
+        assert plans[0] is not None and plans[2] is not None
+
+    def test_raise_propagates(self, driver, poisoned):
+        from repro.common.errors import DecoError
+
+        with pytest.raises(DecoError):
+            driver.member_plans(poisoned, on_error="raise")
+
+    def test_invalid_on_error_rejected(self, driver, poisoned):
+        with pytest.raises(ValidationError):
+            driver.member_plans(poisoned, on_error="explode")
+
+    def test_failed_member_never_admitted_but_visible(self, driver, poisoned):
+        plans = driver.member_plans(poisoned, on_error="record")
+        ens = Ensemble(poisoned.name, poisoned.members, budget=1e9)
+        decision = driver.decide(ens, plans=plans)
+        assert 1 not in decision.admitted_priorities
+        failed = next(o for o in decision.outcomes if o.member.priority == 1)
+        assert failed.plan is None and not failed.admitted
+
+    def test_record_identical_across_workers(self, driver, poisoned):
+        serial = driver.member_plans(poisoned, workers=1, on_error="record")
+        parallel = driver.member_plans(poisoned, workers=2, on_error="record")
+        as_dict = lambda plans: {  # noqa: E731
+            k: (p.decision_dict() if p is not None else None) for k, p in plans.items()
+        }
+        assert as_dict(serial) == as_dict(parallel)

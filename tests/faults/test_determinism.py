@@ -1,0 +1,76 @@
+"""Fault-injected runs must stay bit-identical at any worker count."""
+
+import pytest
+
+from repro.cloud.simulator import CloudSimulator
+from repro.common.rng import RngService
+from repro.engine.deco import Deco
+from repro.engine.ensemble import EnsembleDriver
+from repro.faults import FaultModel, RecoveryPolicy
+from repro.workflow.ensembles import make_ensemble
+from repro.workflow.generators import montage
+
+
+@pytest.fixture()
+def sim(catalog, runtime_model):
+    return CloudSimulator(catalog, RngService(11), runtime_model)
+
+
+def uniform_plan(wf, type_name="m1.small"):
+    return {tid: type_name for tid in wf.task_ids}
+
+
+class TestRunManyDeterminism:
+    @pytest.mark.parametrize("on_abort", ["skip", "record"])
+    def test_serial_equals_parallel(self, sim, diamond, on_abort):
+        kwargs = dict(
+            faults=FaultModel(
+                task_failure_rate=0.4, instance_mtbf=2000.0, straggler_rate=0.1
+            ),
+            recovery=RecoveryPolicy(max_retries=2, backoff_base=5.0),
+            on_abort=on_abort,
+        )
+        serial = sim.run_many(diamond, uniform_plan(diamond), 12, workers=1, **kwargs)
+        parallel = sim.run_many(diamond, uniform_plan(diamond), 12, workers=3, **kwargs)
+        assert serial == parallel
+
+    def test_fault_stream_independent_of_performance_stream(self, sim, diamond):
+        plan = uniform_plan(diamond)
+        baseline = sim.execute(diamond, plan, run_id=9)
+        injected = sim.execute(
+            diamond,
+            plan,
+            run_id=9,
+            faults=FaultModel(straggler_rate=0.5, straggler_slowdown=3.0),
+        )
+        # The same baseline draw underlies both runs: every injected task
+        # duration is the baseline one or its straggler multiple.
+        base = {r.task_id: r.duration for r in baseline.task_records}
+        for rec in injected.task_records:
+            ratio = rec.duration / base[rec.task_id]
+            assert ratio == pytest.approx(1.0) or ratio == pytest.approx(3.0)
+
+
+class TestMemberPlansDeterminism:
+    def test_fault_aware_solves_identical_across_workers(self, catalog):
+        deco = Deco(
+            catalog,
+            seed=3,
+            num_samples=40,
+            max_evaluations=150,
+            faults=FaultModel(task_failure_rate=0.1),
+            recovery=RecoveryPolicy(max_retries=2),
+        )
+        driver = EnsembleDriver(deco)
+        ensemble = make_ensemble(
+            "uniform_unsorted", montage, 4, sizes=(15, 30), seed=5
+        ).with_constraints(
+            budget=float("1e18"),
+            deadline_for=lambda m: deco.presets(m.workflow).medium,
+            deadline_percentile=96.0,
+        )
+        serial = driver.member_plans(ensemble, workers=1)
+        parallel = driver.member_plans(ensemble, workers=2)
+        assert {k: p.decision_dict() for k, p in serial.items()} == {
+            k: p.decision_dict() for k, p in parallel.items()
+        }

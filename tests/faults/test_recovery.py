@@ -1,0 +1,134 @@
+"""Property tests for retry/backoff/checkpoint recovery models."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ValidationError
+from repro.faults import CheckpointModel, RecoveryPolicy
+
+
+class TestCheckpointModel:
+    def test_no_checkpoint_within_first_interval(self):
+        cp = CheckpointModel(interval=100.0, overhead=5.0)
+        assert cp.num_checkpoints(100.0) == 0
+        assert cp.num_checkpoints(50.0) == 0
+        assert cp.num_checkpoints(0.0) == 0
+
+    def test_checkpoints_at_interior_boundaries(self):
+        cp = CheckpointModel(interval=100.0, overhead=5.0)
+        assert cp.num_checkpoints(250.0) == 2
+        # Exactly 2 intervals -> one interior boundary, none at completion.
+        assert cp.num_checkpoints(200.0) == 1
+
+    def test_wall_time_adds_overhead(self):
+        cp = CheckpointModel(interval=100.0, overhead=5.0)
+        assert cp.wall_time(250.0) == pytest.approx(260.0)
+        assert cp.wall_time(50.0) == pytest.approx(50.0)
+
+    @pytest.mark.parametrize("elapsed,expected", [
+        (0.0, 0.0), (104.0, 0.0), (105.0, 100.0), (200.0, 100.0), (210.0, 200.0),
+    ])
+    def test_surviving_work_steps_at_completed_checkpoints(self, elapsed, expected):
+        cp = CheckpointModel(interval=100.0, overhead=5.0)
+        assert cp.surviving_work(elapsed, work=1000.0) == pytest.approx(expected)
+
+    def test_surviving_work_capped_at_attempt_work(self):
+        cp = CheckpointModel(interval=100.0, overhead=0.0)
+        assert cp.surviving_work(elapsed=900.0, work=150.0) == pytest.approx(150.0)
+
+    def test_surviving_work_monotone_in_elapsed(self):
+        cp = CheckpointModel(interval=30.0, overhead=3.0)
+        values = [cp.surviving_work(t, work=500.0) for t in np.linspace(0, 600, 80)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_overhead_factor(self):
+        assert CheckpointModel(100.0, overhead=5.0).overhead_factor == pytest.approx(1.05)
+        assert CheckpointModel(100.0).overhead_factor == 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(interval=0.0), dict(interval=-1.0),
+        dict(interval=10.0, overhead=-1.0), dict(interval=10.0, restore=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            CheckpointModel(**kwargs)
+
+
+class TestBackoff:
+    def test_zero_base_means_no_delay(self):
+        policy = RecoveryPolicy()
+        assert all(policy.backoff_delay(k) == 0.0 for k in range(1, 6))
+
+    def test_exponential_growth(self):
+        policy = RecoveryPolicy(backoff_base=10.0, backoff_factor=2.0, backoff_cap=1e9)
+        assert [policy.backoff_delay(k) for k in (1, 2, 3, 4)] == [10.0, 20.0, 40.0, 80.0]
+
+    def test_cap_bounds_delay(self):
+        policy = RecoveryPolicy(backoff_base=10.0, backoff_factor=3.0, backoff_cap=50.0)
+        delays = [policy.backoff_delay(k) for k in range(1, 10)]
+        assert max(delays) == 50.0
+        assert all(b >= a for a, b in zip(delays, delays[1:]))
+
+    def test_attempt_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            RecoveryPolicy().backoff_delay(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(max_retries=-1), dict(backoff_base=-1.0),
+        dict(backoff_factor=0.5), dict(backoff_cap=-1.0),
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValidationError):
+            RecoveryPolicy(**kwargs)
+
+
+class TestAttemptWallTime:
+    def test_no_checkpoint_is_identity(self):
+        assert RecoveryPolicy().attempt_wall_time(123.0) == 123.0
+
+    def test_checkpoint_overhead_and_restore(self):
+        policy = RecoveryPolicy(
+            checkpoint=CheckpointModel(interval=100.0, overhead=5.0, restore=7.0)
+        )
+        assert policy.attempt_wall_time(250.0) == pytest.approx(260.0)
+        assert policy.attempt_wall_time(250.0, resuming=True) == pytest.approx(267.0)
+
+
+class TestExpectedAttempts:
+    @pytest.mark.parametrize("rate", [0.0, 0.05, 0.3, 0.7])
+    @pytest.mark.parametrize("retries", [0, 1, 3, 10])
+    def test_matches_bruteforce_geometric_sum(self, rate, retries):
+        policy = RecoveryPolicy(max_retries=retries)
+        expected = sum(rate**k for k in range(retries + 1))
+        assert policy.expected_attempts(rate) == pytest.approx(expected)
+
+    def test_matches_monte_carlo(self):
+        policy = RecoveryPolicy(max_retries=3)
+        rate = 0.3
+        rng = np.random.default_rng(7)
+        attempts = []
+        for _ in range(20_000):
+            n = 1
+            while rng.random() < rate and n <= policy.max_retries:
+                n += 1
+            attempts.append(n)
+        assert policy.expected_attempts(rate) == pytest.approx(
+            float(np.mean(attempts)), rel=0.02
+        )
+
+    def test_success_probability_geometric_tail(self):
+        policy = RecoveryPolicy(max_retries=2)
+        assert policy.success_probability(0.5) == pytest.approx(1.0 - 0.5**3)
+        assert policy.success_probability(0.0) == 1.0
+
+    def test_more_retries_never_hurt(self):
+        rate = 0.4
+        probs = [RecoveryPolicy(max_retries=r).success_probability(rate) for r in range(6)]
+        assert all(b >= a for a, b in zip(probs, probs[1:]))
+
+    @pytest.mark.parametrize("rate", [-0.1, 1.0, 1.5])
+    def test_rate_validated(self, rate):
+        with pytest.raises(ValidationError):
+            RecoveryPolicy().expected_attempts(rate)
+        with pytest.raises(ValidationError):
+            RecoveryPolicy().success_probability(rate)

@@ -122,6 +122,41 @@ def _divide_by(x):
     return 1 // x
 
 
+def _square_or_die(x):
+    # Kills its worker process on the marker item -- but only inside a
+    # pool worker, so the serial recovery rerun in the parent completes.
+    import multiprocessing
+
+    if x == "die" and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return 0 if x == "die" else x * x
+
+
+class TestWorkerCrashRecovery:
+    def test_killed_worker_recovers_serially_with_full_results(self):
+        items = list(range(8)) + ["die"] + list(range(8, 11))
+        expected = [_square_or_die(x) for x in items]
+        with pytest.warns(RuntimeWarning, match="died mid-map"):
+            out = map_tasks(_square_or_die, items, workers=2)
+        assert out == expected
+
+    def test_recovery_rerun_reruns_initializer(self):
+        executor = ParallelExecutor(2, initializer=set_context, initargs=(9,))
+        items = [0, 1, 2, 3, 4, 5, 6, 7, "die", 8]
+        with pytest.warns(RuntimeWarning, match="died mid-map"):
+            out = executor.map_tasks(_read_context_or_die, items)
+        assert all(ctx == 9 for ctx, _ in out)
+        assert [x for _, x in out] == items
+
+
+def _read_context_or_die(x):
+    import multiprocessing
+
+    if x == "die" and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return (_CONTEXT.get("value"), x)
+
+
 class TestSerialFallback:
     @pytest.fixture(autouse=True)
     def reset_warning_flag(self):

@@ -199,7 +199,7 @@ class TestLint:
 
         examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
         examples = sorted(str(p) for p in examples_dir.glob("*.wlog"))
-        assert len(examples) == 3
+        assert len(examples) == 4
         code, text = run_cli(["lint", *examples])
         assert code == 0
         assert "0 error(s), 0 warning(s)" in text
@@ -307,3 +307,61 @@ class TestCalibrate:
         code, text = run_cli(["calibrate"])
         assert code == 0
         assert "m1.xlarge" in text
+
+
+class TestFaultFlags:
+    def test_schedule_with_faults(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--samples", "40", "--evals", "150",
+             "--faults", "--failure-rate", "0.1"]
+        )
+        assert code == 0
+        assert "fault model:" in text
+
+    def test_schedule_faults_execute_reports_aborts(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--samples", "40", "--evals", "150",
+             "--faults", "--failure-rate", "0.1", "--execute"]
+        )
+        assert code == 0
+        assert "measured" in text
+
+    def test_failure_rate_out_of_range(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--faults", "--failure-rate", "1.5"]
+        )
+        assert code == 2
+        assert "--failure-rate must be in [0, 1)" in text
+        assert text.count("\n") == 1  # one-line error, not a traceback dump
+
+    def test_mtbf_must_be_positive(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--faults", "--mtbf", "-3"]
+        )
+        assert code == 2
+        assert "--mtbf must be > 0" in text
+
+    def test_on_abort_validated(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--faults", "--on-abort", "bogus"]
+        )
+        assert code == 2
+        assert "--on-abort" in text
+
+    def test_bench_faults_target(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_faults.json"
+        code, text = run_cli(
+            ["bench", "faults", "--out", str(out_path), "--seed", "7",
+             "--samples", "30", "--evals", "150", "--runs", "6",
+             "--degrees", "1", "--workers", "2", "--failure-rate", "0.12"]
+        )
+        assert code == 0
+        assert "Fault ablation" in text
+        payload = json.loads(out_path.read_text())
+        assert payload["benchmark"] == "fault_ablation"
+        assert payload["failure_rate"] == 0.12
+        assert payload["identical"] is True

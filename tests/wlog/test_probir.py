@@ -122,3 +122,40 @@ class TestDeterministicCollapse:
         ev = ir.evaluate(configs_rules(wf, "m1.large"), max_iter=500)
         assert ev.iterations == 1  # deterministic mode ignores max_iter
         assert ev.constraint_probabilities in ((1.0,), (0.0,))
+
+
+class TestReliabilityConstraint:
+    def faulty(self, reg, *, failure_rate=0.05, max_retries=3, percentile=99.0):
+        src = scheduling_program(
+            deadline_seconds=1e9,
+            failure_rate=failure_rate,
+            mtbf_seconds=1e15,
+            reliability_percentile=percentile,
+            max_retries=max_retries,
+        )
+        return translate(WLogProgram.from_source(src), reg, deterministic=True)
+
+    def test_generous_retry_budget_feasible(self, setup):
+        wf, reg = setup
+        ir = self.faulty(reg, failure_rate=0.05, max_retries=3)
+        ev = ir.evaluate(configs_rules(wf, "m1.small"), max_iter=5)
+        assert ev.feasible
+
+    def test_no_retries_high_rate_infeasible(self, setup):
+        wf, reg = setup
+        # Per-task success 0.5, three tasks: ~12.5% << 99%.
+        ir = self.faulty(reg, failure_rate=0.5, max_retries=0)
+        ev = ir.evaluate(configs_rules(wf, "m1.small"), max_iter=5)
+        assert not ev.feasible
+
+    def test_reliability_threshold_is_exact(self, setup):
+        wf, reg = setup
+        # Analytic plan success with rate 0.5 and one retry: 0.75^3.
+        plan_success = 0.75**3 * 100.0
+        ok = self.faulty(reg, failure_rate=0.5, max_retries=1, percentile=plan_success)
+        ev = ok.evaluate(configs_rules(wf, "m1.small"), max_iter=5)
+        assert ev.feasible
+        tight = self.faulty(
+            reg, failure_rate=0.5, max_retries=1, percentile=plan_success + 0.1
+        )
+        assert not tight.evaluate(configs_rules(wf, "m1.small"), max_iter=5).feasible
