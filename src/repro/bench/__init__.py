@@ -27,6 +27,8 @@ from repro.bench.parallel import (
 )
 from repro.bench.perf import (
     solver_speedup,
+    incremental_speedup,
+    incremental_search,
     optimization_overhead,
     write_bench_solver_json,
 )
@@ -58,6 +60,8 @@ __all__ = [
     "bench_parallel",
     "write_bench_parallel_json",
     "solver_speedup",
+    "incremental_speedup",
+    "incremental_search",
     "optimization_overhead",
     "write_bench_solver_json",
     "bench_faults",

@@ -11,18 +11,31 @@
     a frontier-sized state batch), reported as ``taskloop_before_ms`` /
     ``level_after_ms`` / ``level_speedup``.
 
+* :func:`incremental_speedup` -- this PR's before/after: per-state
+  delta propagation (dirty-level suffix recompute from the parent's
+  cached finish-time frontier) against the full fused level kernel, at
+  the search's child-evaluation shape, with bit-identity asserted.
+
+* :func:`incremental_search` -- the end-to-end comparison: one Deco
+  solve with the incremental engine (delta propagation + two-stage
+  fidelity screening) vs one with ``incremental=False``, reporting
+  wall-clock and an ``identical`` flag over the plans' decision dicts.
+
 * :func:`optimization_overhead` -- the paper's end-to-end figure of
   merit: 4.3-63.17 ms of optimization time per task for 20-1000-task
   workflows.  Rows carry the makespan-cache hit/miss counters of the
   solve, showing how much propagation the memoization avoided.
 
-* :func:`write_bench_solver_json` -- machine-readable dump of both
-  tables (the repo's ``BENCH_solver.json``).
+* :func:`write_bench_solver_json` -- machine-readable dump of the
+  tables (the repo's ``BENCH_solver.json``), stamped with git SHA +
+  UTC timestamp provenance.
 """
 
 from __future__ import annotations
 
+import datetime
 import json
+import subprocess
 import time
 from pathlib import Path
 
@@ -31,10 +44,17 @@ import numpy as np
 from repro.bench.harness import BenchConfig
 from repro.bench.parallel import host_cpu_count
 from repro.solver.backends import CompiledProblem, ScalarBackend, VectorizedBackend
+from repro.solver.cache import EvalContext
 from repro.solver.state import PlanState
 from repro.workflow.generators import ligo, montage
 
-__all__ = ["solver_speedup", "optimization_overhead", "write_bench_solver_json"]
+__all__ = [
+    "solver_speedup",
+    "incremental_speedup",
+    "incremental_search",
+    "optimization_overhead",
+    "write_bench_solver_json",
+]
 
 
 def _best_of(fn, repeats: int) -> float:
@@ -127,6 +147,146 @@ def solver_speedup(
     return rows
 
 
+def incremental_speedup(
+    config: BenchConfig | None = None,
+    degrees: tuple[float, ...] = (8.0,),
+    batch: int = 32,
+    num_samples: int = 200,
+    repeats: int = 5,
+) -> list[dict]:
+    """Per-state evaluation: delta propagation vs the full level kernel.
+
+    The measured shape is exactly what the search pays per expansion: a
+    beam parent's frontier is cached (``ensure_frontier``), then a batch
+    of single-task children is evaluated -- once through the full fused
+    kernel (the PR-1 level-parallel path) and once through the dirty-
+    level delta path.  Both produce bit-identical makespan samples
+    (asserted here and by the test suite); ``incremental_speedup`` is
+    the full/delta wall-clock ratio per state.
+    """
+    config = config or BenchConfig()
+    rows = []
+    for deg in degrees:
+        wf = montage(degrees=deg, seed=config.seed)
+        problem = CompiledProblem.compile(
+            wf, config.catalog, deadline=1.0e9, percentile=96.0,
+            num_samples=num_samples, seed=config.seed,
+            runtime_model=config.runtime_model,
+        )
+        full = VectorizedBackend()
+        delta = VectorizedBackend(eval_context=EvalContext())
+        parent = PlanState.uniform(len(wf), 1)
+        # One single-task edit per child, spread across the whole DAG --
+        # the shape of a search expansion (critical-path promotes plus
+        # off-path demotes at every depth), alternating direction.
+        children = []
+        stride = max(1, len(wf) // batch)
+        for j, i in enumerate(range(0, len(wf), stride)):
+            child = (
+                parent.promote(i, problem.num_types) if j % 2 else parent.demote(i)
+            )
+            if child is not None:
+                children.append(child)
+            if len(children) == batch:
+                break
+        delta.ensure_frontier(problem, parent)
+
+        ref = full.makespan_samples(problem, children, incremental=False)
+        inc = delta.makespan_samples(problem, children)
+        assert np.array_equal(ref, inc), "delta propagation is not bit-identical"
+
+        t_full = _best_of(
+            lambda: full.makespan_samples(problem, children, incremental=False), repeats
+        )
+        t_delta = _best_of(lambda: delta.makespan_samples(problem, children), repeats)
+        stats = delta.delta_stats()
+        rows.append(
+            {
+                "workflow": wf.name,
+                "tasks": len(wf),
+                "batch": len(children),
+                "samples": num_samples,
+                "full_ms": t_full * 1000,
+                "delta_ms": t_delta * 1000,
+                "incremental_speedup": t_full / t_delta,
+                "identical": True,  # asserted above, on the same operands
+                "levels_skipped_frac": (
+                    stats["levels_skipped"] / stats["levels_total"]
+                    if stats["levels_total"]
+                    else 0.0
+                ),
+                "rows_recomputed_frac": (
+                    stats["rows_recomputed"] / stats["rows_total"]
+                    if stats["rows_total"]
+                    else 0.0
+                ),
+            }
+        )
+    return rows
+
+
+def incremental_search(
+    config: BenchConfig | None = None,
+    degrees: tuple[float, ...] = (8.0,),
+    repeats: int = 3,
+) -> list[dict]:
+    """End-to-end solve: incremental engine on vs off, same plan either way.
+
+    Runs :meth:`Deco.schedule` twice per workflow -- once with the
+    incremental evaluation engine (delta propagation + two-stage
+    fidelity screening), once with ``incremental=False`` -- and
+    compares the plans' *decision dicts* byte for byte.  ``identical``
+    must be True: the incremental engine is a pure evaluation
+    optimization, never a search-behaviour change.  Counter columns
+    come from the incremental run's :class:`SearchResult`.
+    """
+    config = config or BenchConfig()
+    rows = []
+    for deg in degrees:
+        wf = montage(degrees=deg, seed=config.seed)
+
+        # Best-of-``repeats``, fresh engine per solve (cold caches both
+        # ways); plans must agree across every repetition.
+        deco_off = config.deco(incremental=False)
+        plan_off = deco_off.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
+        t_off = _best_of(
+            lambda: config.deco(incremental=False).schedule(
+                wf, "medium", deadline_percentile=config.deadline_percentile
+            ),
+            repeats,
+        )
+
+        deco_inc = config.deco(incremental=True)
+        plan_inc = deco_inc.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
+        t_inc = _best_of(
+            lambda: config.deco(incremental=True).schedule(
+                wf, "medium", deadline_percentile=config.deadline_percentile
+            ),
+            repeats,
+        )
+
+        result = deco_inc.last_result
+        assert result is not None
+        rows.append(
+            {
+                "workflow": wf.name,
+                "tasks": len(wf),
+                "full_s": t_off,
+                "incremental_s": t_inc,
+                "search_speedup": t_off / t_inc,
+                "identical": plan_inc.decision_dict() == plan_off.decision_dict(),
+                "evaluations": result.evaluations,
+                "exact_evals": result.exact_evals,
+                "screen_evals": result.screen_evals,
+                "screened_out": result.screened_out,
+                "states_incremental": result.states_incremental,
+                "levels_skipped": result.levels_skipped,
+                "levels_total": result.levels_total,
+            }
+        )
+    return rows
+
+
 def optimization_overhead(
     config: BenchConfig | None = None,
     sizes: tuple[int, ...] = (20, 100, 1000),
@@ -155,26 +315,62 @@ def optimization_overhead(
     return rows
 
 
+def _git_provenance() -> dict:
+    """Best-effort git SHA of the tree the numbers were measured on."""
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        ).stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        sha = ""
+    return {
+        "git_sha": sha or "unknown",
+        "generated_at": datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        ),
+    }
+
+
 def write_bench_solver_json(
     path: str | Path,
     config: BenchConfig | None = None,
     speedup_rows: list[dict] | None = None,
     overhead_rows: list[dict] | None = None,
+    incremental_rows: list[dict] | None = None,
+    incremental_search_rows: list[dict] | None = None,
 ) -> dict:
     """Write the machine-readable solver benchmark (``BENCH_solver.json``).
 
     ``before``/``after`` of the level-parallel optimization are the
     ``taskloop_before_ms`` / ``level_after_ms`` fields of the speedup
-    rows.  Pass precomputed rows to reuse measurements a caller already
-    made (the benchmark suite does).
+    rows; the incremental engine's before/after are ``full_ms`` /
+    ``delta_ms`` (per-state) and ``full_s`` / ``incremental_s``
+    (end-to-end search).  Pass precomputed rows to reuse measurements a
+    caller already made (the benchmark suite does).  The payload is
+    stamped with git SHA + UTC timestamp provenance.
     """
     config = config or BenchConfig()
     payload = {
         "benchmark": "solver",
         "unit": "ms",
+        **_git_provenance(),
         "host_cpu_count": host_cpu_count(),
         "workers": config.workers,
         "solver_speedup": speedup_rows if speedup_rows is not None else solver_speedup(config),
+        "incremental": {
+            "per_state": (
+                incremental_rows
+                if incremental_rows is not None
+                else incremental_speedup(config)
+            ),
+            "search": (
+                incremental_search_rows
+                if incremental_search_rows is not None
+                else incremental_search(config)
+            ),
+        },
         "optimization_overhead": (
             overhead_rows if overhead_rows is not None else optimization_overhead(config)
         ),

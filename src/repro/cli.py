@@ -6,7 +6,7 @@ Usage::
     python -m repro run fig01 [--seed 7] [--samples 100] [--evals 800]
     python -m repro run all --workers 4
     python -m repro schedule --app montage --degrees 1 --deadline medium \
-        --percentile 96
+        --percentile 96 [--no-incremental]
     python -m repro schedule --dax workflow.xml --deadline 36000
     python -m repro schedule --faults --failure-rate 0.1 --execute
     python -m repro bench parallel [--workers 4] [--runs 100] [--out PATH]
@@ -134,6 +134,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--seed", type=int, default=7)
     sched.add_argument("--samples", type=int, default=150)
     sched.add_argument("--evals", type=int, default=1500)
+    sched.add_argument("--no-incremental", action="store_true",
+                       help="disable the incremental evaluation engine (delta "
+                            "propagation + fidelity screening); slower, plans "
+                            "are identical either way")
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
     sched.add_argument("--workers", default=None, metavar="N", help=workers_help)
@@ -165,6 +169,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="injected task failure probability (faults bench)")
     bench.add_argument("--mtbf", type=float, default=None, metavar="SECONDS",
                        help="injected instance MTBF (faults bench; default: no crashes)")
+    bench.add_argument("--no-incremental", action="store_true",
+                       help="skip the incremental-engine section of the solver "
+                            "bench (and its on/off plan-identity gate)")
 
     lint = sub.add_parser("lint", help="statically analyze WLog program files")
     lint.add_argument("files", nargs="*", metavar="FILE",
@@ -303,7 +310,8 @@ def _cmd_schedule(args, out) -> int:
         workflow = getattr(generators, args.app)(num_tasks=args.tasks, seed=args.seed)
 
     deco = Deco(catalog, seed=args.seed, num_samples=args.samples,
-                max_evaluations=args.evals)
+                max_evaluations=args.evals,
+                incremental=not args.no_incremental)
     try:
         deadline: float | str = float(args.deadline)
     except ValueError:
@@ -475,13 +483,39 @@ def _cmd_bench(args, out) -> int:
             file=out,
         )
         return 0 if payload["identical"] else 1
-    from repro.bench import write_bench_solver_json
+    from repro.bench import (
+        incremental_search,
+        incremental_speedup,
+        write_bench_solver_json,
+    )
 
     path = Path(args.out or "BENCH_solver.json")
-    payload = write_bench_solver_json(path, config)
+    if args.no_incremental:
+        payload = write_bench_solver_json(
+            path, config, incremental_rows=[], incremental_search_rows=[]
+        )
+        print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
+        print(f"\nwrote {path} (incremental section skipped)", file=out)
+        return 0
+    inc_rows = incremental_speedup(config)
+    search_rows = incremental_search(config)
+    payload = write_bench_solver_json(
+        path, config, incremental_rows=inc_rows, incremental_search_rows=search_rows
+    )
     print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
-    print(f"\nwrote {path}", file=out)
-    return 0
+    print(
+        format_table(inc_rows, "Incremental evaluation: delta vs full kernel"),
+        file=out,
+    )
+    print(
+        format_table(search_rows, "Incremental search: engine on vs off"),
+        file=out,
+    )
+    # The incremental engine must never change a decision: fail the
+    # bench (exit 1) if any plan or sample vector diverged.
+    identical = all(r["identical"] for r in inc_rows + search_rows)
+    print(f"\nwrote {path} (identical={identical})", file=out)
+    return 0 if identical else 1
 
 
 def _cmd_calibrate(out) -> int:

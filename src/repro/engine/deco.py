@@ -23,8 +23,8 @@ from repro.faults.model import FaultModel
 from repro.faults.recovery import RecoveryPolicy
 from repro.engine.plan import DeadlinePresets, ProvisioningPlan, deadline_presets
 from repro.solver.backends import CompiledProblem, get_backend
-from repro.solver.cache import MakespanCache
-from repro.solver.search import GenericSearch
+from repro.solver.cache import EvalContext, MakespanCache
+from repro.solver.search import GenericSearch, SearchResult
 from repro.solver.state import PlanState
 from repro.wlog.analysis import check_program
 from repro.wlog.imports import ImportRegistry
@@ -52,13 +52,22 @@ class Deco:
         Monte Carlo realizations per state evaluation.
     max_evaluations / beam_width / children_per_state / expand_per_iter:
         Search budget knobs (see :class:`~repro.solver.search.GenericSearch`).
+    incremental:
+        Enable the incremental evaluation engine (delta propagation from
+        dirty levels + two-stage sample-fidelity screening).  Plans are
+        bit-identical either way; ``False`` is the escape hatch (the
+        CLI's ``--no-incremental``).
 
-    A Deco instance memoizes both the compiled problem per workflow
+    A Deco instance memoizes the compiled problem per workflow
     (deadline/percentile changes derive via
-    :meth:`CompiledProblem.with_deadline`, sharing the sample tensor)
-    and, through :attr:`cache`, the per-state makespan samples -- so
-    deadline/percentile sweeps over the same workflow reuse every
-    Monte Carlo propagation the search has already paid for.
+    :meth:`CompiledProblem.with_deadline`, sharing the sample tensor),
+    through :attr:`cache` the per-state makespan samples, and through
+    :attr:`eval_context` the finish-time frontiers of expanded states --
+    so deadline/percentile sweeps over the same workflow reuse every
+    Monte Carlo propagation the search has already paid for, and search
+    children re-propagate only the levels their dirty tasks can affect.
+    :meth:`clear_caches` / :meth:`cache_stats` bound and report all of
+    it from one place for long-running services.
     """
 
     #: How many (workflow, region) compiled problems to keep alive.
@@ -78,13 +87,19 @@ class Deco:
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
         reliability_percentile: float | None = None,
+        incremental: bool = True,
     ):
         self.catalog = catalog
         self.seed = int(seed)
         self.cache = MakespanCache()
-        self.backend = get_backend(backend, cache=self.cache)
+        self.eval_context = EvalContext()
+        self.backend = get_backend(backend, cache=self.cache, eval_context=self.eval_context)
         self.num_samples = int(num_samples)
         self.require_feasible = require_feasible
+        self.incremental = bool(incremental)
+        #: The :class:`SearchResult` of the most recent solve -- counter
+        #: introspection for benchmarks and services (not plan content).
+        self.last_result: SearchResult | None = None
         # Engine-level fault awareness: every schedule() call scores
         # plans under this fault model (per-call kwargs override).
         # Lives in spec() so worker processes solve fault-aware too.
@@ -101,6 +116,7 @@ class Deco:
             beam_width=beam_width,
             max_evaluations=max_evaluations,
             expand_per_iter=expand_per_iter,
+            incremental=self.incremental,
         )
 
     # Worker-process rebuilding --------------------------------------------
@@ -125,12 +141,54 @@ class Deco:
             "faults": self.faults,
             "recovery": self.recovery,
             "reliability_percentile": self.reliability_percentile,
+            "incremental": self.incremental,
         }
 
     @classmethod
     def from_spec(cls, spec: dict) -> "Deco":
         """Rebuild an engine from :meth:`spec` (in a worker process)."""
         return cls(**spec)
+
+    # Cache management ------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Drop every evaluation cache this engine holds.
+
+        Long-running services call this between tenants/workloads to
+        bound memory: the makespan-row cache, the finish-time frontier
+        context (including its screening-problem memo), the compiled
+        problem memo, and the backend's pooled scratch buffers all reset
+        to cold.  Subsequent solves are slower but bit-identical --
+        every cache is a pure memo.
+        """
+        self.cache.clear()
+        self.eval_context.clear()
+        self._problems.clear()
+        release = getattr(self.backend, "release_buffers", None)
+        if release is not None:
+            release()
+
+    def cache_stats(self) -> dict:
+        """One-stop memory/hit-rate report across all evaluation caches.
+
+        Keys: ``makespan`` and ``frontier`` (hit/miss/entry counters
+        plus ``nbytes``), ``compiled_problems`` (memoized problem
+        count), and ``delta`` (the backend's incremental-propagation
+        counters, when the backend tracks them).
+        """
+        makespan = self.cache.counters()
+        makespan["nbytes"] = self.cache.nbytes()
+        frontier = self.eval_context.counters()
+        frontier["nbytes"] = self.eval_context.nbytes()
+        stats = {
+            "makespan": makespan,
+            "frontier": frontier,
+            "compiled_problems": len(self._problems),
+        }
+        delta = getattr(self.backend, "delta_stats", None)
+        if delta is not None:
+            stats["delta"] = delta()
+        return stats
 
     # Deadline helpers ------------------------------------------------------
 
@@ -280,6 +338,7 @@ class Deco:
         t0 = time.perf_counter()
         result = self._search.solve(problem, seeds=seeds)
         elapsed = time.perf_counter() - t0
+        self.last_result = result
         if self.require_feasible and not result.feasible_found:
             raise InfeasibleError(
                 f"no plan meets P(makespan <= {problem.deadline:g}s) >= "

@@ -1,19 +1,31 @@
-"""Makespan memoization across repeated solves of one sample tensor.
+"""Evaluation memoization: makespan rows and finish-time frontiers.
 
 Deadline sweeps (Fig. 8's percentile sweep, Fig. 11's tight/medium/
 loose settings) re-solve the *same* compiled tensor many times -- only
 the deadline/percentile of the feasibility test changes, not a single
 makespan sample.  :class:`MakespanCache` exploits that: it memoizes the
 ``(S,)`` per-state makespan-sample rows keyed by
-``(id(tensor), state.key)``, so any state the search revisits -- across
-:meth:`CompiledProblem.with_deadline` derivations, warm-start ladders,
-or whole re-solves -- costs one dictionary lookup instead of a DAG
-propagation.
+``(problem.sample_token, state.key)``, so any state the search
+revisits -- across :meth:`CompiledProblem.with_deadline` derivations,
+warm-start ladders, or whole re-solves -- costs one dictionary lookup
+instead of a DAG propagation.
 
-Keying by ``id(tensor)`` is safe because every cache entry holds a
-reference to the tensor it was computed from: the id cannot be recycled
-while the entry is alive.  The cache is a bounded LRU (rows evicted
-oldest-first) so long-running services cannot grow without limit.
+``sample_token`` is a process-wide monotone generation counter stamped
+onto every :class:`~repro.solver.backends.CompiledProblem` whose sample
+tensor is fresh; derivations that *share* the tensor
+(:meth:`with_deadline`) inherit the token, derivations that rewrite it
+(:meth:`with_faults`, :meth:`with_sample_prefix`) get a new one.  Unlike
+the earlier ``id(tensor)`` keys, tokens can never collide between two
+live problems (ids recycle when the allocator reuses row space) and
+need no object-pinning side channel to stay correct.
+
+:class:`EvalContext` is the incremental evaluator's companion store: a
+bounded LRU of per-state *finish-time frontiers* -- the permuted
+``(N, S)`` finish matrix a full propagation produces -- keyed the same
+way, plus a small memo of sample-prefix screening problems.  A child
+state that differs from a cached parent in a known dirty set re-uses
+the parent's frontier rows below the first dirty level and recomputes
+only the affected suffix.
 """
 
 from __future__ import annotations
@@ -25,7 +37,7 @@ import numpy as np
 
 from repro.common.errors import SolverError
 
-__all__ = ["MakespanCache"]
+__all__ = ["MakespanCache", "EvalContext"]
 
 
 class MakespanCache:
@@ -45,11 +57,8 @@ class MakespanCache:
         self.max_entries = int(max_entries)
         self.hits = 0
         self.misses = 0
-        # (tensor id, state key) -> (row, tensor ref).  The tensor ref
-        # pins the id; the row is a read-only (S,) float array.
-        self._rows: OrderedDict[tuple[int, bytes], tuple[np.ndarray, np.ndarray]] = (
-            OrderedDict()
-        )
+        # (sample token, state key) -> read-only (S,) float row.
+        self._rows: OrderedDict[tuple[int, bytes], np.ndarray] = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._rows)
@@ -57,6 +66,10 @@ class MakespanCache:
     def counters(self) -> dict[str, int]:
         """Current hit/miss/size counters (monotone except ``entries``)."""
         return {"hits": self.hits, "misses": self.misses, "entries": len(self._rows)}
+
+    def nbytes(self) -> int:
+        """Approximate memory held by the cached rows."""
+        return sum(row.nbytes for row in self._rows.values())
 
     def clear(self) -> None:
         self._rows.clear()
@@ -75,19 +88,19 @@ class MakespanCache:
         states not in the cache (a single backend batch); its rows are
         stored and the full batch is reassembled in input order.
         """
-        token = id(problem.tensor)
+        token = problem.sample_token
         rows: list[np.ndarray | None] = [None] * len(states)
         missing: list = []
         missing_at: list[int] = []
         for i, state in enumerate(states):
             key = (token, state.key)
-            entry = self._rows.get(key)
-            if entry is None:
+            row = self._rows.get(key)
+            if row is None:
                 missing.append(state)
                 missing_at.append(i)
             else:
                 self._rows.move_to_end(key)
-                rows[i] = entry[0]
+                rows[i] = row
         self.hits += len(states) - len(missing)
         self.misses += len(missing)
 
@@ -97,13 +110,91 @@ class MakespanCache:
                 row = np.ascontiguousarray(fresh[j])
                 row.setflags(write=False)
                 rows[i] = row
-                self._store(token, states[i].key, row, problem.tensor)
+                self._store(token, states[i].key, row)
         return np.stack(rows)  # type: ignore[arg-type]
 
-    def _store(
-        self, token: int, key: bytes, row: np.ndarray, tensor: np.ndarray
-    ) -> None:
-        self._rows[(token, key)] = (row, tensor)
+    def _store(self, token: int, key: bytes, row: np.ndarray) -> None:
+        self._rows[(token, key)] = row
         self._rows.move_to_end((token, key))
         while len(self._rows) > self.max_entries:
             self._rows.popitem(last=False)
+
+
+class EvalContext:
+    """Bounded LRU of per-state finish-time frontiers (incremental eval).
+
+    One entry is the permuted ``(N, S)`` finish matrix of a fully
+    propagated state -- ~1 MB for Montage-8 at 200 samples -- keyed by
+    ``(sample_token, state key)`` exactly like :class:`MakespanCache`.
+    The search stores frontiers only for the states it is about to
+    expand (the beam tip), so the default capacity comfortably covers a
+    solve while bounding long-running services.
+
+    The context also memoizes the sample-prefix *screening problems*
+    (one tiny derived :class:`CompiledProblem` per base token), so the
+    two-stage fidelity screen does not re-slice the tensor every
+    iteration.
+    """
+
+    def __init__(self, max_entries: int = 64):
+        if max_entries < 1:
+            raise SolverError("max_entries must be >= 1")
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self._frontiers: OrderedDict[tuple[int, bytes], np.ndarray] = OrderedDict()
+        # base sample_token -> (prefix length, derived problem)
+        self._screen_problems: dict[int, tuple[int, object]] = {}
+
+    def __len__(self) -> int:
+        return len(self._frontiers)
+
+    def counters(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": len(self._frontiers)}
+
+    def nbytes(self) -> int:
+        """Approximate memory held by the cached frontiers."""
+        return sum(f.nbytes for f in self._frontiers.values())
+
+    def clear(self) -> None:
+        self._frontiers.clear()
+        self._screen_problems.clear()
+
+    # ------------------------------------------------------------------
+
+    def get(self, token: int, key: bytes) -> np.ndarray | None:
+        """The cached ``(N, S)`` frontier, or ``None`` (counts hit/miss)."""
+        frontier = self._frontiers.get((token, key))
+        if frontier is None:
+            self.misses += 1
+            return None
+        self._frontiers.move_to_end((token, key))
+        self.hits += 1
+        return frontier
+
+    def peek(self, token: int, key: bytes) -> bool:
+        """Whether a frontier is cached (no counter side effects)."""
+        return (token, key) in self._frontiers
+
+    def put(self, token: int, key: bytes, frontier: np.ndarray) -> None:
+        frontier.setflags(write=False)
+        self._frontiers[(token, key)] = frontier
+        self._frontiers.move_to_end((token, key))
+        while len(self._frontiers) > self.max_entries:
+            self._frontiers.popitem(last=False)
+
+    # ------------------------------------------------------------------
+
+    def screen_problem(self, problem, prefix: int):
+        """The memoized sample-prefix derivation of ``problem``.
+
+        Rebuilt (and re-memoized) when the requested prefix changes;
+        the derived problem carries its own fresh ``sample_token`` so
+        screening rows never mix with full-fidelity cache entries.
+        """
+        entry = self._screen_problems.get(problem.sample_token)
+        if entry is not None and entry[0] == prefix:
+            return entry[1]
+        derived = problem.with_sample_prefix(prefix)
+        self._screen_problems[problem.sample_token] = (prefix, derived)
+        return derived

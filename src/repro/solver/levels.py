@@ -74,6 +74,18 @@ class LevelSchedule:
         Per level: for fan-in <= 4, a tuple of P contiguous ``(n_L,)``
         parent-slot columns (the fast row-``take`` path); ``None`` for
         big fan-in levels, which use ``level_parents`` directly.
+    depth:
+        ``(N,)`` int64; ``depth[i]`` is task i's topological level in the
+        *original* numbering -- the map from a dirty task to the first
+        level the incremental evaluator must recompute.
+    rank:
+        ``(N,)`` int64; ``rank[i]`` is task i's permuted slot (inverse of
+        ``order``).
+    sink_slots:
+        Permuted slots of tasks with no children.  Because every child's
+        finish time is >= each parent's (task times are non-negative),
+        the makespan equals the max over sink finishes alone -- the
+        incremental path's cheap final reduction.
     """
 
     num_tasks: int
@@ -82,6 +94,9 @@ class LevelSchedule:
     level_bounds: tuple[tuple[int, int], ...]
     level_parents: tuple[np.ndarray, ...]
     level_columns: tuple[tuple[np.ndarray, ...] | None, ...]
+    depth: np.ndarray
+    rank: np.ndarray
+    sink_slots: np.ndarray
 
     @classmethod
     def from_parent_indices(
@@ -129,7 +144,13 @@ class LevelSchedule:
                 level_columns.append(None)
             lo = hi
 
-        for arr in (parent_matrix, order, *level_parents):
+        is_parent = np.zeros(n, dtype=bool)
+        for parents in parent_indices:
+            for p in parents:
+                is_parent[p] = True
+        sink_slots = np.ascontiguousarray(rank[~is_parent])
+
+        for arr in (parent_matrix, order, rank, depth, sink_slots, *level_parents):
             arr.setflags(write=False)
         return cls(
             num_tasks=n,
@@ -138,6 +159,9 @@ class LevelSchedule:
             level_bounds=tuple(bounds),
             level_parents=tuple(level_parents),
             level_columns=tuple(level_columns),
+            depth=depth,
+            rank=rank,
+            sink_slots=sink_slots,
         )
 
     @property
@@ -149,6 +173,23 @@ class LevelSchedule:
     def max_width(self) -> int:
         """Widest level -- the amount of per-iteration parallelism."""
         return max((hi - lo for lo, hi in self.level_bounds), default=0)
+
+    def first_dirty_level(self, dirty_tasks: Sequence[int]) -> int:
+        """The earliest level any of ``dirty_tasks`` (original indices) sits on.
+
+        Levels strictly below it are untouched by a reassignment of the
+        dirty tasks: a task's finish time depends only on its own
+        execution time and its ancestors', all of which live on lower
+        levels.  The incremental evaluator reuses the parent state's
+        finish rows for every slot before this level's lower bound.
+        """
+        if len(dirty_tasks) == 0:
+            raise SolverError("dirty task set must not be empty")
+        return int(self.depth[np.asarray(dirty_tasks, dtype=np.int64)].min())
+
+    def dirty_slots(self, dirty_tasks: Sequence[int]) -> np.ndarray:
+        """Permuted slots of ``dirty_tasks`` (original indices)."""
+        return self.rank[np.asarray(dirty_tasks, dtype=np.int64)]
 
     # ------------------------------------------------------------------
 

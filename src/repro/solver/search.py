@@ -36,14 +36,66 @@ import numpy as np
 from repro.common.errors import SolverError
 from repro.solver.backends import CompiledProblem, EvaluationBackend, VectorizedBackend
 from repro.solver.state import PlanState, StateEval
-from repro.workflow.critical_path import critical_path
+
+
+def _critical_indices(
+    parent_indices: tuple[tuple[int, ...], ...], task_times: np.ndarray
+) -> list[int]:
+    """Dense-index critical path under per-task times.
+
+    Semantically identical to
+    :func:`repro.workflow.critical_path.critical_path` (same first-tie
+    argmax over the same parent order, same topological end-tie rule)
+    but operating on the compiled problem's index tuples -- this runs
+    once per beam expansion, and the id<->index dict traffic of the
+    workflow-level function dominated expansion cost on large DAGs.
+    """
+    times = task_times.tolist()
+    n = len(times)
+    if not n:
+        return []
+    finish = [0.0] * n
+    best = [-1] * n
+    for i, parents in enumerate(parent_indices):
+        if parents:
+            bp = parents[0]
+            bf = finish[bp]
+            for p in parents[1:]:
+                f = finish[p]
+                if f > bf:
+                    bf = f
+                    bp = p
+            finish[i] = bf + times[i]
+            best[i] = bp
+        else:
+            finish[i] = times[i]
+    end = max(range(n), key=finish.__getitem__)
+    path: list[int] = []
+    cur = end
+    while cur >= 0:
+        path.append(cur)
+        cur = best[cur]
+    path.reverse()
+    return path
 
 __all__ = ["SearchResult", "GenericSearch", "AStarSearch", "AStarResult"]
 
 
 @dataclass
 class SearchResult:
-    """Outcome of a generic search run."""
+    """Outcome of a generic search run.
+
+    ``evaluations`` counts every candidate that consumed evaluation
+    budget -- including candidates the fidelity screen discarded -- so
+    the number (and the search trajectory it gates) is identical with
+    screening on or off.  ``exact_evals`` is the subset actually
+    evaluated at full Monte Carlo fidelity; ``screen_evals`` the
+    prefix-fidelity screenings; ``screened_out`` the candidates the
+    screen discarded.  The ``states_incremental`` / ``levels_skipped`` /
+    ``levels_total`` / ``rows_recomputed`` / ``rows_total`` counters
+    come from the backend's delta-propagation path (zero when the
+    backend has no :class:`~repro.solver.cache.EvalContext`).
+    """
 
     best_state: PlanState
     best_eval: StateEval
@@ -53,6 +105,14 @@ class SearchResult:
     trace: list[tuple[int, float]] = field(default_factory=list)
     cache_hits: int = 0    # makespan-cache hits during this solve
     cache_misses: int = 0  # makespan rows actually computed
+    exact_evals: int = 0       # full-fidelity evaluations performed
+    screen_evals: int = 0      # prefix-fidelity screenings performed
+    screened_out: int = 0      # candidates discarded by the screen
+    states_incremental: int = 0  # states evaluated via delta propagation
+    levels_skipped: int = 0      # level recomputations the delta path avoided
+    levels_total: int = 0        # level recomputations a full pass would do
+    rows_recomputed: int = 0     # task rows actually re-propagated
+    rows_total: int = 0          # task rows a full pass would propagate
 
     def assignment_names(self, problem: CompiledProblem) -> dict[str, str]:
         """task id -> instance type name for the best state."""
@@ -79,6 +139,23 @@ class GenericSearch:
     expand_per_iter:
         How many beam states expand per iteration; their children are
         deduped and evaluated as one backend batch (block-per-state).
+    incremental:
+        Enable the incremental evaluation engine: parent finish-time
+        frontiers are pinned before expansion (so children take the
+        backend's delta-propagation path) and beam candidates are
+        screened at prefix fidelity before full evaluation.  The
+        returned plan is bit-identical either way (asserted by the test
+        suite and the solver bench); ``False`` is the escape hatch.
+    screen_samples / screen_margin:
+        Two-stage fidelity knobs: candidates are first evaluated on the
+        first ``screen_samples`` Monte Carlo draws (the same draws for
+        every state -- common random numbers), and discarded when that
+        screened deadline probability trails the requirement by more
+        than ``screen_margin``.  The margin is deliberately generous
+        (~5 binomial standard errors at the default prefix), so only
+        candidates that are hopeless at full fidelity too are dropped;
+        survivors -- and therefore the returned winner -- are always
+        re-evaluated at full fidelity.
     """
 
     def __init__(
@@ -88,6 +165,9 @@ class GenericSearch:
         beam_width: int = 24,
         max_evaluations: int = 4000,
         expand_per_iter: int = 8,
+        incremental: bool = True,
+        screen_samples: int = 32,
+        screen_margin: float = 0.25,
     ):
         if (
             children_per_state < 1
@@ -96,11 +176,18 @@ class GenericSearch:
             or expand_per_iter < 1
         ):
             raise SolverError("search parameters must be >= 1")
+        if screen_samples < 1:
+            raise SolverError("screen_samples must be >= 1")
+        if screen_margin < 0:
+            raise SolverError("screen_margin must be >= 0")
         self.backend = backend or VectorizedBackend()
         self.children_per_state = children_per_state
         self.beam_width = beam_width
         self.max_evaluations = max_evaluations
         self.expand_per_iter = expand_per_iter
+        self.incremental = bool(incremental)
+        self.screen_samples = int(screen_samples)
+        self.screen_margin = float(screen_margin)
 
     # ------------------------------------------------------------------
 
@@ -133,9 +220,13 @@ class GenericSearch:
 
         cache = getattr(self.backend, "cache", None)
         hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
+        delta0 = dict(getattr(self.backend, "delta_counters", None) or {})
 
         evals = self.backend.evaluate_batch(problem, frontier_states)
         evaluations = len(frontier_states)
+        exact_evals = len(frontier_states)
+        screen_evals = 0
+        screened_out = 0
         best_state, best_eval = None, None
         for st, ev in zip(frontier_states, evals):
             if ev.better_than(best_eval):
@@ -145,6 +236,7 @@ class GenericSearch:
         frontier: list[tuple[PlanState, StateEval]] = list(zip(frontier_states, evals))
         trace = [(evaluations, best_eval.cost if best_eval.feasible else float("inf"))]
         expansions = 0
+        dry_screens = 0
 
         while frontier and evaluations < self.max_evaluations:
             frontier.sort(key=lambda se: self._priority(se[1]))
@@ -165,10 +257,49 @@ class GenericSearch:
                 continue
             budget = self.max_evaluations - evaluations
             children = children[:budget]
-            child_evals = self.backend.evaluate_batch(problem, children)
+            # Every candidate consumes budget whether or not the screen
+            # later discards it -- keeping the budget trajectory (and so
+            # the search decisions) identical with screening on or off.
             evaluations += len(children)
 
-            for cst, cev in zip(children, child_evals):
+            # Stage 1: prefix-fidelity screen (common random numbers).
+            # Only active once a feasible incumbent exists: an infeasible
+            # candidate can never unseat a feasible best, so a candidate
+            # screened as hopelessly infeasible can only have influenced
+            # the frontier tail the beam was going to trim anyway.
+            # The screen stands down after two consecutive batches where
+            # it rejected nothing: near convergence every candidate is a
+            # one-step edit of a feasible state, so the prefix pass is
+            # pure overhead.  The trigger counts rejections only --
+            # deterministic, so the trajectory stays run-to-run stable
+            # (and plan-identical: screening never changes selections).
+            survivors = children
+            if dry_screens < 2 and self._screen_active(problem, best_eval, len(children)):
+                probs = self.backend.screen_probabilities(
+                    problem, children, self.screen_samples
+                )
+                screen_evals += len(children)
+                keep = probs + self.screen_margin >= problem.required_probability
+                if not np.all(keep):
+                    survivors = [c for c, k in zip(children, keep) if k]
+                    screened_out += len(children) - len(survivors)
+                    dry_screens = 0
+                else:
+                    dry_screens += 1
+            if not survivors:
+                continue
+
+            # Pin the expanded parents' finish-time frontiers so stage 2
+            # evaluates the survivors through the delta-propagation path.
+            if self.incremental and hasattr(self.backend, "ensure_frontier"):
+                for state, _ in batch:
+                    self.backend.ensure_frontier(problem, state)
+
+            # Stage 2: full-fidelity evaluation of the survivors.
+            child_evals = self.backend.evaluate_batch(problem, survivors)
+            exact_evals += len(survivors)
+
+            for cst, cev in zip(survivors, child_evals):
                 if cev.better_than(best_eval):
                     best_state, best_eval = cst, cev
                     trace.append(
@@ -180,6 +311,7 @@ class GenericSearch:
                     continue
                 frontier.append((cst, cev))
 
+        delta1 = dict(getattr(self.backend, "delta_counters", None) or {})
         return SearchResult(
             best_state=best_state,
             best_eval=best_eval,
@@ -189,9 +321,37 @@ class GenericSearch:
             trace=trace,
             cache_hits=(cache.hits - hits0) if cache else 0,
             cache_misses=(cache.misses - misses0) if cache else 0,
+            exact_evals=exact_evals,
+            screen_evals=screen_evals,
+            screened_out=screened_out,
+            states_incremental=delta1.get("states_incremental", 0)
+            - delta0.get("states_incremental", 0),
+            levels_skipped=delta1.get("levels_skipped", 0)
+            - delta0.get("levels_skipped", 0),
+            levels_total=delta1.get("levels_total", 0) - delta0.get("levels_total", 0),
+            rows_recomputed=delta1.get("rows_recomputed", 0)
+            - delta0.get("rows_recomputed", 0),
+            rows_total=delta1.get("rows_total", 0) - delta0.get("rows_total", 0),
         )
 
     # ------------------------------------------------------------------
+
+    def _screen_active(
+        self, problem: CompiledProblem, best: StateEval | None, batch_size: int
+    ) -> bool:
+        """Whether the prefix screen should run for this candidate batch.
+
+        Requires a feasible incumbent (see the stage-1 comment in
+        :meth:`solve`), a sample budget the prefix meaningfully
+        undercuts, and enough candidates to amortize the extra kernel.
+        """
+        return (
+            self.incremental
+            and best is not None
+            and best.feasible
+            and problem.num_samples >= 2 * self.screen_samples
+            and batch_size >= 4
+        )
 
     @staticmethod
     def _priority(ev: StateEval) -> tuple:
@@ -214,13 +374,10 @@ class GenericSearch:
         with the largest cost saving.  Both directions are generated for
         feasible states so the search can trade off around the incumbent.
         """
-        wf = problem.workflow
         n = problem.num_tasks
         idx = np.arange(n)
         mean_now = problem.mean_times[state.assignment, idx]
-        time_map = {tid: float(mean_now[wf.index_of(tid)]) for tid in wf.task_ids}
-        cp, _ = critical_path(wf, time_map)
-        cp_idx = [wf.index_of(t) for t in cp]
+        cp_idx = _critical_indices(problem.parent_indices, mean_now)
         cp_set = set(cp_idx)
 
         children: list[PlanState] = []

@@ -18,11 +18,26 @@ __all__ = ["PlanState", "StateEval"]
 
 
 class PlanState:
-    """An immutable instance-type assignment vector."""
+    """An immutable instance-type assignment vector.
 
-    __slots__ = ("assignment", "_key")
+    States produced by the single-task edit operations
+    (:meth:`with_type` / :meth:`promote` / :meth:`demote`) additionally
+    carry their *lineage*: ``parent_key`` is the originating state's
+    :attr:`key` and ``dirty`` the tuple of task indices whose assignment
+    changed.  Lineage is evaluation metadata only -- equality and
+    hashing look at the assignment bytes alone -- and lets the
+    incremental evaluator reuse the parent's cached finish-time frontier
+    and re-propagate only the levels the dirty tasks can affect.
+    """
 
-    def __init__(self, assignment: np.ndarray):
+    __slots__ = ("assignment", "_key", "parent_key", "dirty")
+
+    def __init__(
+        self,
+        assignment: np.ndarray,
+        parent_key: bytes | None = None,
+        dirty: tuple[int, ...] | None = None,
+    ):
         arr = np.asarray(assignment, dtype=np.int16)
         if arr.ndim != 1:
             raise SolverError(f"assignment must be 1-D, got shape {arr.shape}")
@@ -32,6 +47,10 @@ class PlanState:
         arr.setflags(write=False)
         self.assignment = arr
         self._key = arr.tobytes()
+        if (parent_key is None) != (dirty is None):
+            raise SolverError("parent_key and dirty must be given together")
+        self.parent_key = parent_key
+        self.dirty = dirty
 
     @classmethod
     def uniform(cls, num_tasks: int, type_index: int = 0) -> "PlanState":
@@ -52,10 +71,10 @@ class PlanState:
         return self._key
 
     def with_type(self, task_index: int, type_index: int) -> "PlanState":
-        """A copy with one task reassigned."""
+        """A copy with one task reassigned (lineage records the dirty task)."""
         arr = self.assignment.copy()
         arr[task_index] = type_index
-        return PlanState(arr)
+        return PlanState(arr, parent_key=self._key, dirty=(int(task_index),))
 
     def promote(self, task_index: int, num_types: int) -> "PlanState | None":
         """Promote one task (None when already on the top type)."""

@@ -66,16 +66,20 @@ class Task:
             raise ValidationError(f"task {self.task_id!r} has negative runtime_ref")
         object.__setattr__(self, "inputs", tuple(self.inputs))
         object.__setattr__(self, "outputs", tuple(self.outputs))
+        # Byte totals are read on every runtime-model estimate (hot in
+        # warm starts and baselines); precompute once at construction.
+        object.__setattr__(self, "_input_bytes", sum(f.size_bytes for f in self.inputs))
+        object.__setattr__(self, "_output_bytes", sum(f.size_bytes for f in self.outputs))
 
     @property
     def input_bytes(self) -> int:
         """Total bytes read by this task."""
-        return sum(f.size_bytes for f in self.inputs)
+        return self._input_bytes
 
     @property
     def output_bytes(self) -> int:
         """Total bytes written by this task."""
-        return sum(f.size_bytes for f in self.outputs)
+        return self._output_bytes
 
 
 class Workflow:

@@ -50,6 +50,15 @@ class ScheduleDraft:
         instance.  Singleton groups are implicit.
     splits:
         task id -> list of (pause, resume) pairs recorded by Split.
+    dirty:
+        task ids this draft has changed since it was created/copied.
+        Every successful operation records exactly the tasks whose draft
+        entry it actually rewrote (a Promote that returns False records
+        nothing; a Merge records only the tasks whose group key changed).
+        :meth:`copy` starts the child with an empty set, so a child's
+        ``dirty`` is precisely its diff against the parent -- the
+        solver's incremental evaluator re-propagates only those tasks'
+        DAG levels (see :class:`~repro.solver.state.PlanState`).
     """
 
     workflow: Workflow
@@ -58,6 +67,7 @@ class ScheduleDraft:
     start: dict[str, float] = field(default_factory=dict)
     group: dict[str, object] = field(default_factory=dict)
     splits: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    dirty: set[str] = field(default_factory=set)
 
     @classmethod
     def initial(cls, workflow: Workflow, catalog: Catalog, type_index: int = 0) -> "ScheduleDraft":
@@ -73,6 +83,7 @@ class ScheduleDraft:
             raise ValidationError(f"unknown task {task_id!r} in schedule draft")
 
     def copy(self) -> "ScheduleDraft":
+        """An independent child draft; its ``dirty`` set starts empty."""
         return ScheduleDraft(
             workflow=self.workflow,
             catalog=self.catalog,
@@ -95,6 +106,7 @@ class ScheduleDraft:
         if idx + 1 >= len(self.catalog):
             return False
         self.type_index[task_id] = idx + 1
+        self.dirty.add(task_id)
         return True
 
     def demote(self, task_id: str) -> bool:
@@ -104,6 +116,7 @@ class ScheduleDraft:
         if idx == 0:
             return False
         self.type_index[task_id] = idx - 1
+        self.dirty.add(task_id)
         return True
 
     def merge(self, first: str, second: str) -> bool:
@@ -122,8 +135,10 @@ class ScheduleDraft:
         if self._precedes(second, first):
             return False
         key = self.group.get(first, ("merge", first))
-        self.group[first] = key
-        self.group[second] = key
+        for tid in (first, second):
+            if self.group.get(tid) != key:
+                self.group[tid] = key
+                self.dirty.add(tid)
         return True
 
     def co_schedule(self, task_ids: tuple[str, ...]) -> bool:
@@ -137,7 +152,9 @@ class ScheduleDraft:
             return False
         key = ("cosched", task_ids[0])
         for tid in task_ids:
-            self.group[tid] = key
+            if self.group.get(tid) != key:
+                self.group[tid] = key
+                self.dirty.add(tid)
         return True
 
     # Timeline operations ----------------------------------------------------
@@ -147,7 +164,10 @@ class ScheduleDraft:
         self._check_task(task_id)
         if delay < 0:
             raise ValidationError(f"move delay must be >= 0, got {delay}")
+        if delay == 0:
+            return True  # no-op: the timeline (and the dirty set) is unchanged
         self.start[task_id] = self.start.get(task_id, 0.0) + delay
+        self.dirty.add(task_id)
         return True
 
     def split(self, task_id: str, pause_at: float, resume_at: float) -> bool:
@@ -156,6 +176,7 @@ class ScheduleDraft:
         if resume_at <= pause_at:
             raise ValidationError(f"resume ({resume_at}) must be after pause ({pause_at})")
         self.splits.setdefault(task_id, []).append((pause_at, resume_at))
+        self.dirty.add(task_id)
         return True
 
     # Helpers ------------------------------------------------------------------
@@ -183,8 +204,21 @@ class ScheduleDraft:
         """Co-scheduling groups, or None if every task is alone."""
         return dict(self.group) if self.group else None
 
+    def dirty_indices(self) -> tuple[int, ...]:
+        """The dirty set as sorted dense task indices.
+
+        This is the shape the solver's incremental evaluator consumes
+        (:class:`~repro.solver.state.PlanState` lineage): each index
+        names a task whose draft entry changed since :meth:`copy`, so a
+        delta propagation needs to revisit only those tasks' levels.
+        """
+        return tuple(sorted(self.workflow.index_of(tid) for tid in self.dirty))
+
     def children_by_promote(self) -> Iterator["ScheduleDraft"]:
-        """All child drafts reachable by one Promote (paper Fig. 5b)."""
+        """All child drafts reachable by one Promote (paper Fig. 5b).
+
+        Each child's ``dirty`` set holds exactly the promoted task.
+        """
         for tid in self.workflow.task_ids:
             child = self.copy()
             if child.promote(tid):

@@ -1,9 +1,12 @@
 """Tests for the six transformation operations (paper Fig. 5)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.cloud.instance_types import ec2_catalog
 from repro.common.errors import ValidationError
-from repro.workflow.generators import pipeline
+from repro.workflow.generators import pipeline, random_dag
 from repro.workflow.transformations import OPERATION_NAMES, ScheduleDraft
 
 
@@ -127,3 +130,117 @@ class TestCopy:
         assert draft.type_index["a"] == 0
         assert "b" not in draft.start
         assert "b" not in draft.group
+
+
+# Dirty-set tracking (incremental evaluation lineage) ----------------------
+
+_CATALOG = ec2_catalog()
+
+
+def _draft_diff(parent: ScheduleDraft, child: ScheduleDraft) -> set[str]:
+    """Tasks whose draft entry (type/start/group/splits) actually differs."""
+    return {
+        tid
+        for tid in child.workflow.task_ids
+        if child.type_index.get(tid) != parent.type_index.get(tid)
+        or child.start.get(tid) != parent.start.get(tid)
+        or child.group.get(tid) != parent.group.get(tid)
+        or child.splits.get(tid, []) != parent.splits.get(tid, [])
+    }
+
+
+def _apply_op(draft: ScheduleDraft, op: str, tasks: list[str], pick) -> set[str]:
+    """Apply one drawn operation; returns the task args it was given."""
+    a = tasks[pick % len(tasks)]
+    b = tasks[(pick // len(tasks)) % len(tasks)]
+    if op == "promote":
+        draft.promote(a)
+        return {a}
+    if op == "demote":
+        draft.demote(a)
+        return {a}
+    if op == "merge":
+        draft.merge(a, b)
+        return {a, b}
+    if op == "co_schedule":
+        draft.co_schedule((a, b))
+        return {a, b}
+    if op == "move":
+        draft.move(a, float(pick % 3))  # delay 0 is a recorded no-op
+        return {a}
+    draft.split(a, 1.0, 2.0 + pick)
+    return {a}
+
+
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(OPERATION_NAMES), st.integers(0, 10_000)),
+    min_size=1,
+    max_size=8,
+)
+
+
+class TestDirtySets:
+    @given(op=st.sampled_from(OPERATION_NAMES), pick=st.integers(0, 10_000),
+           seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_single_op_dirty_is_exactly_the_diff(self, op, pick, seed):
+        """One op on a fresh child: dirty == the entries it rewrote."""
+        wf = random_dag(6, edge_prob=0.3, seed=seed)
+        # Start mid-catalog so Demote is not always saturated.
+        parent = ScheduleDraft.initial(wf, _CATALOG, type_index=1)
+        child = parent.copy()
+        _apply_op(child, op, list(wf.task_ids), pick)
+        assert child.dirty == _draft_diff(parent, child)
+
+    @given(ops=ops_strategy, seed=st.integers(0, 50))
+    @settings(max_examples=60, deadline=None)
+    def test_sequence_dirty_is_sound_and_bounded(self, ops, seed):
+        """Op sequences: dirty covers every real diff, names only touched tasks."""
+        wf = random_dag(6, edge_prob=0.3, seed=seed)
+        parent = ScheduleDraft.initial(wf, _CATALOG, type_index=1)
+        child = parent.copy()
+        touched: set[str] = set()
+        for op, pick in ops:
+            touched |= _apply_op(child, op, list(wf.task_ids), pick)
+        # Soundness: nothing changed without being reported dirty.
+        assert _draft_diff(parent, child) <= child.dirty
+        # Boundedness: only tasks some op actually received.
+        assert child.dirty <= touched
+
+    def test_failed_ops_record_nothing(self, draft, catalog):
+        for _ in range(len(catalog) - 1):
+            draft.promote("a")
+        draft.dirty.clear()
+        assert not draft.promote("a")  # saturated
+        assert not draft.merge("a", "a")  # degenerate
+        assert not draft.co_schedule(("a",))  # too few tasks
+        assert draft.dirty == set()
+
+    def test_zero_delay_move_is_clean(self, draft):
+        assert draft.move("a", 0.0)
+        assert draft.dirty == set()
+
+    def test_remerge_records_only_the_newcomer(self, draft):
+        assert draft.merge("b", "c")
+        assert draft.dirty == {"b", "c"}
+        draft.dirty.clear()
+        # 'b' and 'c' already share the group: merging again is clean,
+        # extending the group dirties only the new member.
+        assert draft.merge("b", "c")
+        assert draft.dirty == set()
+        assert draft.merge("b", "d")
+        assert draft.dirty == {"d"}
+
+    def test_copy_starts_clean(self, draft):
+        draft.promote("a")
+        child = draft.copy()
+        assert draft.dirty == {"a"}
+        assert child.dirty == set()
+
+    def test_dirty_indices_are_sorted_dense(self, catalog):
+        wf = pipeline(4, seed=0)
+        draft = ScheduleDraft.initial(wf, catalog)
+        ids = list(wf.task_ids)
+        draft.promote(ids[2])
+        draft.promote(ids[0])
+        assert draft.dirty_indices() == (0, 2)
