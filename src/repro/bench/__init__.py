@@ -29,6 +29,9 @@ from repro.bench.perf import (
     solver_speedup,
     incremental_speedup,
     incremental_search,
+    analytic_speedup,
+    analytic_accuracy,
+    cascade_search,
     optimization_overhead,
     write_bench_solver_json,
 )
@@ -62,6 +65,9 @@ __all__ = [
     "solver_speedup",
     "incremental_speedup",
     "incremental_search",
+    "analytic_speedup",
+    "analytic_accuracy",
+    "cascade_search",
     "optimization_overhead",
     "write_bench_solver_json",
     "bench_faults",

@@ -20,29 +20,21 @@ host legitimately reports speedup < 1, and the JSON says so honestly.
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 
 from repro.bench.harness import BenchConfig
 from repro.engine.ensemble import EnsembleDriver
-from repro.parallel.executor import resolve_workers
+from repro.parallel.executor import host_cpu_count, resolve_workers
 from repro.workflow.ensembles import make_ensemble
 from repro.workflow.generators import montage
 
 __all__ = [
     "bench_parallel",
     "default_bench_workers",
-    "host_cpu_count",
+    "host_cpu_count",  # canonical home: repro.parallel.executor
     "write_bench_parallel_json",
 ]
-
-
-def host_cpu_count() -> int:
-    """CPUs usable by this process (affinity-aware where supported)."""
-    if hasattr(os, "sched_getaffinity"):
-        return len(os.sched_getaffinity(0))
-    return os.cpu_count() or 1
 
 
 def default_bench_workers() -> int:
@@ -66,12 +58,17 @@ def _row(
     identical: bool,
 ) -> dict:
     speedup = serial_seconds / parallel_seconds if parallel_seconds > 0 else 0.0
+    cpus = host_cpu_count()
     return {
         "site": site,
         "subject": subject,
         "units": units,
         "workers": workers,
-        "host_cpu_count": host_cpu_count(),
+        "host_cpu_count": cpus,
+        # Honesty flag for readers of the JSON: with more workers than
+        # usable CPUs the processes time-share cores, so speedup < 1 is
+        # the host's fault, not a runtime regression.
+        "oversubscribed": workers > cpus,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
         "speedup": speedup,

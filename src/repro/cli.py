@@ -6,11 +6,12 @@ Usage::
     python -m repro run fig01 [--seed 7] [--samples 100] [--evals 800]
     python -m repro run all --workers 4
     python -m repro schedule --app montage --degrees 1 --deadline medium \
-        --percentile 96 [--no-incremental]
+        --percentile 96 [--no-incremental] [--no-analytic-screen]
+    python -m repro schedule --backend analytic --app montage --degrees 4
     python -m repro schedule --dax workflow.xml --deadline 36000
     python -m repro schedule --faults --failure-rate 0.1 --execute
     python -m repro bench parallel [--workers 4] [--runs 100] [--out PATH]
-    python -m repro bench solver
+    python -m repro bench solver [--backend gpu|cpu|analytic] [--no-analytic-screen]
     python -m repro bench faults [--failure-rate 0.12] [--mtbf 36000]
     python -m repro lint program.wlog [--format json] [--strict]
     python -m repro lint --bundled
@@ -138,6 +139,14 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable the incremental evaluation engine (delta "
                             "propagation + fidelity screening); slower, plans "
                             "are identical either way")
+    sched.add_argument("--backend", default="gpu", metavar="NAME",
+                       help="evaluation backend: gpu (vectorized Monte Carlo, "
+                            "default), cpu (scalar reference), or analytic "
+                            "(moment propagation, no sampling)")
+    sched.add_argument("--no-analytic-screen", action="store_true",
+                       help="disable tier 0 of the screening cascade (analytic "
+                            "classification); slower on large workflows, plans "
+                            "are identical either way")
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
     sched.add_argument("--workers", default=None, metavar="N", help=workers_help)
@@ -172,6 +181,13 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-incremental", action="store_true",
                        help="skip the incremental-engine section of the solver "
                             "bench (and its on/off plan-identity gate)")
+    bench.add_argument("--backend", default="gpu", metavar="NAME",
+                       help="evaluation backend for the solver bench's search "
+                            "sections (gpu|cpu|analytic; default gpu)")
+    bench.add_argument("--no-analytic-screen", action="store_true",
+                       help="skip the analytic-cascade section of the solver "
+                            "bench (and its on/off plan-identity + error-bound "
+                            "gates)")
 
     lint = sub.add_parser("lint", help="statically analyze WLog program files")
     lint.add_argument("files", nargs="*", metavar="FILE",
@@ -280,11 +296,18 @@ def _cmd_schedule(args, out) -> int:
     from repro.engine import Deco
     from repro.workflow import generators, parse_dax
 
+    from repro.solver import BACKEND_NAMES
+
     if not 0 < args.percentile <= 100:
         return _usage_error(out, f"--percentile must be in (0, 100], got {args.percentile:g}")
     if args.on_abort not in ("raise", "skip", "record"):
         return _usage_error(
             out, f"--on-abort must be raise|skip|record, got {args.on_abort!r}"
+        )
+    if args.backend not in BACKEND_NAMES:
+        return _usage_error(
+            out,
+            f"--backend must be one of {'|'.join(BACKEND_NAMES)}, got {args.backend!r}",
         )
     workers = _workers_arg(args)
     faults = recovery = None
@@ -311,7 +334,9 @@ def _cmd_schedule(args, out) -> int:
 
     deco = Deco(catalog, seed=args.seed, num_samples=args.samples,
                 max_evaluations=args.evals,
-                incremental=not args.no_incremental)
+                backend=args.backend,
+                incremental=not args.no_incremental,
+                analytic_screen=not args.no_analytic_screen)
     try:
         deadline: float | str = float(args.deadline)
     except ValueError:
@@ -329,6 +354,7 @@ def _cmd_schedule(args, out) -> int:
     )
 
     print(f"workflow:        {workflow.name} ({len(workflow)} tasks)", file=out)
+    print(f"backend:         {deco.backend.name}", file=out)
     if faults is not None:
         print(f"fault model:     {faults.describe()}", file=out)
     print(f"deadline:        {plan.deadline:.0f} s @ {plan.deadline_percentile:.1f}%", file=out)
@@ -484,38 +510,86 @@ def _cmd_bench(args, out) -> int:
         )
         return 0 if payload["identical"] else 1
     from repro.bench import (
+        analytic_accuracy,
+        analytic_speedup,
+        cascade_search,
         incremental_search,
         incremental_speedup,
         write_bench_solver_json,
     )
+    from repro.bench.perf import ANALYTIC_PROB_ERROR_BOUND
+    from repro.solver import BACKEND_NAMES
 
-    path = Path(args.out or "BENCH_solver.json")
-    if args.no_incremental:
-        payload = write_bench_solver_json(
-            path, config, incremental_rows=[], incremental_search_rows=[]
+    if args.backend not in BACKEND_NAMES:
+        return _usage_error(
+            out,
+            f"--backend must be one of {'|'.join(BACKEND_NAMES)}, got {args.backend!r}",
         )
-        print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
-        print(f"\nwrote {path} (incremental section skipped)", file=out)
-        return 0
-    inc_rows = incremental_speedup(config)
-    search_rows = incremental_search(config)
+    path = Path(args.out or "BENCH_solver.json")
+    skipped = []
+    # The per-state kernel comparison runs FIRST, on a cold heap: a real
+    # solve compiles its tensors into fresh memory, and the MC gather
+    # kernel measures ~2x faster when its arrays land in pages recycled
+    # from earlier bench sections -- a regime no single solve ever sees.
+    # (The analytic kernel's pooled working set is cache-sized either
+    # way, so ordering only affects the MC baseline's honesty.)
+    if args.no_analytic_screen:
+        an_rows: list[dict] = []
+        acc_rows: list[dict] = []
+        cascade_rows: list[dict] = []
+        skipped.append("analytic")
+    else:
+        an_rows = analytic_speedup(config)
+    if args.no_incremental:
+        inc_rows: list[dict] = []
+        search_rows: list[dict] = []
+        skipped.append("incremental")
+    else:
+        inc_rows = incremental_speedup(config)
+        search_rows = incremental_search(config, backend=args.backend)
+    if not args.no_analytic_screen:
+        acc_rows = analytic_accuracy(config)
+        cascade_rows = cascade_search(config, backend=args.backend)
     payload = write_bench_solver_json(
-        path, config, incremental_rows=inc_rows, incremental_search_rows=search_rows
+        path,
+        config,
+        incremental_rows=inc_rows,
+        incremental_search_rows=search_rows,
+        analytic_rows=an_rows,
+        analytic_accuracy_rows=acc_rows,
+        cascade_rows=cascade_rows,
     )
     print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
+    if inc_rows:
+        print(
+            format_table(inc_rows, "Incremental evaluation: delta vs full kernel"),
+            file=out,
+        )
+        print(
+            format_table(search_rows, "Incremental search: engine on vs off"),
+            file=out,
+        )
+    if an_rows:
+        print(
+            format_table(an_rows, "Analytic evaluation: moments vs MC delta kernel"),
+            file=out,
+        )
+        print(format_table(acc_rows, "Analytic accuracy vs full Monte Carlo"), file=out)
+        print(format_table(cascade_rows, "Screening cascade: tier 0 on vs off"), file=out)
+    # Neither optimization may ever change a decision: fail the bench
+    # (exit 1) on any plan/sample divergence, or on an analytic error
+    # above the documented bound.
+    identical = all(r["identical"] for r in inc_rows + search_rows + cascade_rows)
+    max_err = max((r["max_abs_prob_error"] for r in acc_rows), default=0.0)
+    within_bound = max_err <= ANALYTIC_PROB_ERROR_BOUND
+    note = f" ({', '.join(skipped)} section skipped)" if skipped else ""
     print(
-        format_table(inc_rows, "Incremental evaluation: delta vs full kernel"),
+        f"\nwrote {path} (identical={identical}, "
+        f"max analytic prob error={max_err:.3f} "
+        f"<= bound {ANALYTIC_PROB_ERROR_BOUND:g}: {within_bound}){note}",
         file=out,
     )
-    print(
-        format_table(search_rows, "Incremental search: engine on vs off"),
-        file=out,
-    )
-    # The incremental engine must never change a decision: fail the
-    # bench (exit 1) if any plan or sample vector diverged.
-    identical = all(r["identical"] for r in inc_rows + search_rows)
-    print(f"\nwrote {path} (identical={identical})", file=out)
-    return 0 if identical else 1
+    return 0 if identical and within_bound else 1
 
 
 def _cmd_calibrate(out) -> int:

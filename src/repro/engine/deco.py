@@ -47,7 +47,10 @@ class Deco:
     seed:
         Root seed for the Monte Carlo sample tensor.
     backend:
-        ``"gpu"`` (vectorized, default) or ``"cpu"`` (scalar reference).
+        ``"gpu"`` (vectorized, default), ``"cpu"`` (scalar reference) or
+        ``"analytic"`` (moment propagation, no sampling -- deterministic
+        and fastest, with the approximation error bounds documented in
+        BENCH_solver.json's ``analytic`` section).
     num_samples:
         Monte Carlo realizations per state evaluation.
     max_evaluations / beam_width / children_per_state / expand_per_iter:
@@ -57,6 +60,13 @@ class Deco:
         dirty levels + two-stage sample-fidelity screening).  Plans are
         bit-identical either way; ``False`` is the escape hatch (the
         CLI's ``--no-incremental``).
+    analytic_screen:
+        Enable tier 0 of the evaluation cascade: a calibrated-margin
+        analytic screen ahead of the prefix-MC and full-MC tiers.  Plans
+        are identical either way (asserted by the solver bench);
+        ``False`` is the escape hatch (the CLI's
+        ``--no-analytic-screen``).  Ignored when ``backend`` is already
+        ``"analytic"``.
 
     A Deco instance memoizes the compiled problem per workflow
     (deadline/percentile changes derive via
@@ -88,6 +98,7 @@ class Deco:
         recovery: RecoveryPolicy | None = None,
         reliability_percentile: float | None = None,
         incremental: bool = True,
+        analytic_screen: bool = True,
     ):
         self.catalog = catalog
         self.seed = int(seed)
@@ -97,6 +108,7 @@ class Deco:
         self.num_samples = int(num_samples)
         self.require_feasible = require_feasible
         self.incremental = bool(incremental)
+        self.analytic_screen = bool(analytic_screen)
         #: The :class:`SearchResult` of the most recent solve -- counter
         #: introspection for benchmarks and services (not plan content).
         self.last_result: SearchResult | None = None
@@ -117,6 +129,7 @@ class Deco:
             max_evaluations=max_evaluations,
             expand_per_iter=expand_per_iter,
             incremental=self.incremental,
+            analytic_screen=self.analytic_screen,
         )
 
     # Worker-process rebuilding --------------------------------------------
@@ -142,6 +155,7 @@ class Deco:
             "recovery": self.recovery,
             "reliability_percentile": self.reliability_percentile,
             "incremental": self.incremental,
+            "analytic_screen": self.analytic_screen,
         }
 
     @classmethod
@@ -173,8 +187,10 @@ class Deco:
 
         Keys: ``makespan`` and ``frontier`` (hit/miss/entry counters
         plus ``nbytes``), ``compiled_problems`` (memoized problem
-        count), and ``delta`` (the backend's incremental-propagation
-        counters, when the backend tracks them).
+        count), ``delta`` (the backend's incremental-propagation
+        counters, when the backend tracks them), and ``analytic``
+        (moment-propagation work counters, once any analytic tier or
+        backend has run).
         """
         makespan = self.cache.counters()
         makespan["nbytes"] = self.cache.nbytes()
@@ -188,6 +204,12 @@ class Deco:
         delta = getattr(self.backend, "delta_stats", None)
         if delta is not None:
             stats["delta"] = delta()
+        analytic = getattr(self.backend, "analytic_stats", None)
+        if analytic is None:
+            analytic = self._search.analytic_stats
+        tier0 = analytic()
+        if tier0 is not None:
+            stats["analytic"] = tier0
         return stats
 
     # Deadline helpers ------------------------------------------------------

@@ -34,6 +34,7 @@ __all__ = [
     "ENV_WORKERS",
     "ParallelExecutor",
     "chunk_evenly",
+    "host_cpu_count",
     "map_tasks",
     "resolve_workers",
     "workers_from_env",
@@ -49,6 +50,16 @@ _R = TypeVar("_R")
 # One fallback warning per process: the downgrade is environmental, not
 # per-call, and a 100-chunk sweep should not print 100 warnings.
 _warned_fallback = False
+
+# Same policy for the oversubscription notice in resolve_workers.
+_warned_oversubscription = False
+
+
+def host_cpu_count() -> int:
+    """CPUs usable by this process (affinity-aware where supported)."""
+    if hasattr(os, "sched_getaffinity"):
+        return len(os.sched_getaffinity(0))
+    return os.cpu_count() or 1
 
 
 def workers_from_env(default: int = 1) -> int:
@@ -75,15 +86,32 @@ def resolve_workers(workers: int | None = None) -> int:
     """Normalize a ``workers`` argument to an effective count (>= 1).
 
     ``None`` defers to ``REPRO_WORKERS`` (default serial); an explicit
-    value must be a positive integer.
+    value must be a positive integer.  A count above the host's usable
+    CPUs is allowed -- process pools handle it, and measuring the
+    oversubscribed regime is a legitimate benchmark -- but warned about
+    once per process, because every "parallel slower than serial" report
+    so far traced back to exactly this.
     """
     if workers is None:
-        return workers_from_env()
-    if isinstance(workers, bool) or not isinstance(workers, int):
-        raise ValidationError(f"workers must be a positive integer, got {workers!r}")
-    if workers < 1:
-        raise ValidationError(f"workers must be a positive integer, got {workers}")
-    return workers
+        count = workers_from_env()
+    else:
+        if isinstance(workers, bool) or not isinstance(workers, int):
+            raise ValidationError(f"workers must be a positive integer, got {workers!r}")
+        if workers < 1:
+            raise ValidationError(f"workers must be a positive integer, got {workers}")
+        count = workers
+    cpus = host_cpu_count()
+    global _warned_oversubscription
+    if count > cpus and not _warned_oversubscription:
+        _warned_oversubscription = True
+        warnings.warn(
+            f"requested {count} workers but only {cpus} usable CPU(s); "
+            "worker processes will time-share cores and parallel speedup "
+            "may drop below 1",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+    return count
 
 
 def _warn_serial_fallback(exc: BaseException) -> None:

@@ -27,11 +27,13 @@ from repro.solver.backends import (
     VectorizedBackend,
     ScalarBackend,
     get_backend,
+    BACKEND_NAMES,
 )
-from repro.solver.cache import MakespanCache
+from repro.solver.cache import MakespanCache, ScratchPool
 from repro.solver.levels import LevelSchedule
 from repro.solver.search import GenericSearch, AStarSearch, SearchResult
 from repro.solver.analytic import analytic_makespan, analytic_deadline_probability
+from repro.solver.analytic_backend import AnalyticBackend
 
 __all__ = [
     "PlanState",
@@ -40,8 +42,11 @@ __all__ = [
     "EvaluationBackend",
     "VectorizedBackend",
     "ScalarBackend",
+    "AnalyticBackend",
     "get_backend",
+    "BACKEND_NAMES",
     "MakespanCache",
+    "ScratchPool",
     "LevelSchedule",
     "GenericSearch",
     "AStarSearch",

@@ -31,6 +31,50 @@ from repro.workflow.runtime_model import RuntimeModel
 __all__ = ["analytic_makespan", "analytic_deadline_probability"]
 
 
+def _topological_order(workflow: Workflow) -> tuple[str, ...]:
+    """An explicitly validated topological order of ``workflow``.
+
+    :class:`Workflow` toposorts at construction, but the propagation
+    below must not *assume* the declared ``task_ids`` order is
+    consistent with the parent lists it walks -- duck-typed workflow
+    objects and post-construction mutation both reach this module in
+    practice.  Re-deriving the order from ``parents()`` (Kahn's
+    algorithm) turns any inconsistency into a :class:`SolverError`
+    naming the offending tasks instead of a bare ``KeyError`` deep in
+    the finish-time loop.
+    """
+    ids = tuple(workflow.task_ids)
+    known = set(ids)
+    indegree: dict[str, int] = {}
+    children: dict[str, list[str]] = {tid: [] for tid in ids}
+    for tid in ids:
+        parents = workflow.parents(tid)
+        unknown = [p for p in parents if p not in known]
+        if unknown:
+            raise SolverError(
+                f"task {tid!r} references unknown parent(s) {unknown[:3]}"
+            )
+        indegree[tid] = len(parents)
+        for p in parents:
+            children[p].append(tid)
+    frontier = [tid for tid in ids if indegree[tid] == 0]
+    order: list[str] = []
+    while frontier:
+        tid = frontier.pop(0)
+        order.append(tid)
+        for child in children[tid]:
+            indegree[child] -= 1
+            if indegree[child] == 0:
+                frontier.append(child)
+    if len(order) != len(ids):
+        cyclic = sorted(tid for tid, d in indegree.items() if d > 0)
+        raise SolverError(
+            f"workflow {workflow.name!r} is not acyclic: propagation order "
+            f"does not exist for {cyclic[:5]}"
+        )
+    return tuple(order)
+
+
 def analytic_makespan(
     workflow: Workflow,
     assignment: Mapping[str, str],
@@ -46,12 +90,13 @@ def analytic_makespan(
     """
     if max_bins < 4:
         raise SolverError(f"max_bins must be >= 4, got {max_bins}")
-    missing = [t for t in workflow.task_ids if t not in assignment]
+    order = _topological_order(workflow)
+    missing = [t for t in order if t not in assignment]
     if missing:
         raise SolverError(f"assignment missing tasks {missing[:3]}")
 
     finish: dict[str, Histogram] = {}
-    for tid in workflow.task_ids:
+    for tid in order:
         own = model.cached_histogram(workflow.task(tid), assignment[tid]).rebinned(max_bins)
         parents = workflow.parents(tid)
         if parents:

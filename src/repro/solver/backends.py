@@ -59,7 +59,7 @@ from repro.common.units import SECONDS_PER_HOUR
 from repro.cloud.instance_types import Catalog
 from repro.faults.model import FaultModel
 from repro.faults.recovery import RecoveryPolicy
-from repro.solver.cache import EvalContext, MakespanCache
+from repro.solver.cache import EvalContext, MakespanCache, ScratchPool
 from repro.solver.levels import _COLUMN_FANIN_MAX, LevelSchedule
 from repro.solver.state import PlanState, StateEval
 from repro.workflow.dag import Workflow
@@ -71,6 +71,8 @@ __all__ = [
     "VectorizedBackend",
     "ScalarBackend",
     "get_backend",
+    "validated_assignments",
+    "BACKEND_NAMES",
 ]
 
 
@@ -398,6 +400,25 @@ class EvaluationBackend(abc.ABC):
         return np.mean(makespans <= sp.deadline, axis=1)
 
 
+def validated_assignments(problem: CompiledProblem, states) -> np.ndarray:
+    """Stack states into a validated ``(B, N)`` int64 assignment matrix.
+
+    Shared by every array backend (vectorized MC and analytic): raises
+    :class:`SolverError` when a state's length or type indices do not
+    fit the compiled problem, so the kernels can skip bounds checks.
+    """
+    assign = np.stack([st.assignment for st in states]).astype(np.int64)  # (B, N)
+    if assign.shape[1] != problem.num_tasks:
+        raise SolverError(
+            f"state has {assign.shape[1]} tasks, problem has {problem.num_tasks}"
+        )
+    if assign.min(initial=0) < 0:
+        raise SolverError("state references a negative type index")
+    if assign.max(initial=0) >= problem.num_types:
+        raise SolverError("state references a type index outside the catalog")
+    return assign
+
+
 def _propagate_taskloop(lanes: np.ndarray, parent_indices) -> np.ndarray:
     """Pre-level-parallel reference: one Python iteration per task.
 
@@ -446,17 +467,21 @@ class VectorizedBackend(EvaluationBackend):
 
     name = "gpu"
 
-    _POOL_MAX = 32  # distinct (name, shape) buffers kept alive
+    _POOL_MAX = 32  # distinct (name, dtype) buffers kept alive
 
     def __init__(
         self,
         cache: MakespanCache | None = None,
         level_parallel: bool = True,
         eval_context: EvalContext | None = None,
+        pool: ScratchPool | None = None,
     ):
         super().__init__(cache=cache, eval_context=eval_context)
         self.level_parallel = bool(level_parallel)
-        self._pool: dict[tuple, np.ndarray] = {}
+        #: Shared grow-only scratch pool (see
+        #: :class:`~repro.solver.cache.ScratchPool`); the analytic
+        #: screening tier reuses the same pool during a search.
+        self.pool = pool if pool is not None else ScratchPool(self._POOL_MAX)
         #: Monotone work counters of the incremental path: states routed
         #: through delta vs full propagation, and how many level / row
         #: recomputations the delta route skipped.
@@ -470,36 +495,11 @@ class VectorizedBackend(EvaluationBackend):
         }
 
     def _buf(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
-        """A pooled scratch view (contents undefined).
-
-        One grow-only backing array per (name, dtype): requests for any
-        shape return a view of it, so the alternating batch/sample
-        shapes of screening and delta groups reuse one allocation
-        instead of churning the pool.  Callers never hold two live
-        buffers under the same name.
-        """
-        dt = np.dtype(dtype)
-        key = (name, dt.str)
-        size = max(1, int(np.prod(shape)))
-        backing = self._pool.get(key)
-        if backing is None or backing.size < size:
-            if backing is None and len(self._pool) >= self._POOL_MAX:
-                self._pool.clear()
-            backing = np.empty(size, dtype=dt)
-            self._pool[key] = backing
-        return backing[:size].reshape(shape)
+        """A pooled scratch view (contents undefined; see ScratchPool)."""
+        return self.pool.take(name, shape, dtype)
 
     def _validated_assignments(self, problem: CompiledProblem, states) -> np.ndarray:
-        assign = np.stack([st.assignment for st in states]).astype(np.int64)  # (B, N)
-        if assign.shape[1] != problem.num_tasks:
-            raise SolverError(
-                f"state has {assign.shape[1]} tasks, problem has {problem.num_tasks}"
-            )
-        if assign.min(initial=0) < 0:
-            raise SolverError("state references a negative type index")
-        if assign.max(initial=0) >= problem.num_types:
-            raise SolverError("state references a type index outside the catalog")
-        return assign
+        return validated_assignments(problem, states)
 
     def makespan_samples(
         self, problem: CompiledProblem, states, incremental: bool = True
@@ -920,7 +920,7 @@ class VectorizedBackend(EvaluationBackend):
 
     def release_buffers(self) -> None:
         """Drop the pooled scratch arrays (``Deco.clear_caches`` hook)."""
-        self._pool.clear()
+        self.pool.clear()
 
     def screen_probabilities(
         self, problem: CompiledProblem, states, prefix: int
@@ -974,6 +974,7 @@ class ScalarBackend(EvaluationBackend):
 
 
 _BACKENDS = {"gpu": VectorizedBackend, "cpu": ScalarBackend}
+BACKEND_NAMES = ("gpu", "cpu", "analytic")
 
 
 def get_backend(
@@ -981,8 +982,16 @@ def get_backend(
     cache: MakespanCache | None = None,
     eval_context: EvalContext | None = None,
 ) -> EvaluationBackend:
-    """Backend factory: ``"gpu"`` (vectorized) or ``"cpu"`` (scalar)."""
+    """Backend factory: ``"gpu"`` (vectorized), ``"cpu"`` (scalar) or
+    ``"analytic"`` (moment propagation, no sampling)."""
+    if name == "analytic":
+        # Imported lazily: analytic_backend itself imports this module.
+        from repro.solver.analytic_backend import AnalyticBackend
+
+        return AnalyticBackend(cache=cache, eval_context=eval_context)
     try:
         return _BACKENDS[name](cache=cache, eval_context=eval_context)
     except KeyError:
-        raise SolverError(f"unknown backend {name!r}; choose from {sorted(_BACKENDS)}") from None
+        raise SolverError(
+            f"unknown backend {name!r}; choose from {sorted(BACKEND_NAMES)}"
+        ) from None

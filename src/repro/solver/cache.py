@@ -37,7 +37,55 @@ import numpy as np
 
 from repro.common.errors import SolverError
 
-__all__ = ["MakespanCache", "EvalContext"]
+__all__ = ["MakespanCache", "EvalContext", "ScratchPool"]
+
+
+class ScratchPool:
+    """Grow-only pool of named scratch buffers.
+
+    One backing array per ``(name, dtype)``: a request for any shape
+    returns a view of it, growing the backing only when the product of
+    the shape exceeds what is already held.  The alternating batch and
+    sample shapes of screening, delta groups and analytic propagation
+    therefore reuse one allocation per role instead of churning the
+    allocator -- reallocating multi-hundred-KB arrays every evaluation
+    costs page faults that dominate the kernels at search-sized
+    batches.  Buffer contents are undefined on return, and callers must
+    never hold two live buffers under the same name: the pool makes its
+    owner non-reentrant (one evaluation at a time), matching a CUDA
+    stream.  Backends in one search share a single pool, so the tiered
+    evaluators do not each pin their own copies of the large buffers.
+    """
+
+    def __init__(self, max_buffers: int = 32):
+        if max_buffers < 1:
+            raise SolverError("max_buffers must be >= 1")
+        self.max_buffers = int(max_buffers)
+        self._bufs: dict[tuple[str, str], np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self._bufs)
+
+    def nbytes(self) -> int:
+        """Approximate memory pinned by the pooled backings."""
+        return sum(b.nbytes for b in self._bufs.values())
+
+    def take(self, name: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """A pooled scratch view of ``shape`` (contents undefined)."""
+        dt = np.dtype(dtype)
+        key = (name, dt.str)
+        size = max(1, int(np.prod(shape)))
+        backing = self._bufs.get(key)
+        if backing is None or backing.size < size:
+            if backing is None and len(self._bufs) >= self.max_buffers:
+                self._bufs.clear()
+            backing = np.empty(size, dtype=dt)
+            self._bufs[key] = backing
+        return backing[:size].reshape(shape)
+
+    def clear(self) -> None:
+        """Drop every pooled backing array."""
+        self._bufs.clear()
 
 
 class MakespanCache:

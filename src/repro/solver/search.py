@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Hashable, Iterable
 
 import numpy as np
+from scipy.special import ndtr, ndtri
 
 from repro.common.errors import SolverError
 from repro.solver.backends import CompiledProblem, EvaluationBackend, VectorizedBackend
@@ -86,12 +87,17 @@ class SearchResult:
     """Outcome of a generic search run.
 
     ``evaluations`` counts every candidate that consumed evaluation
-    budget -- including candidates the fidelity screen discarded -- so
+    budget -- including candidates the fidelity screens discarded -- so
     the number (and the search trajectory it gates) is identical with
     screening on or off.  ``exact_evals`` is the subset actually
     evaluated at full Monte Carlo fidelity; ``screen_evals`` the
     prefix-fidelity screenings; ``screened_out`` the candidates the
-    screen discarded.  The ``states_incremental`` / ``levels_skipped`` /
+    prefix screen discarded.  ``analytic_evals`` / ``analytic_screened_out`` /
+    ``analytic_accepted`` are the tier-0 analytic cascade's
+    counterparts: candidates the moment-propagation tier evaluated,
+    settled as clearly infeasible, or settled as clearly feasible --
+    settled either way means no Monte Carlo was spent on them (zero
+    when the analytic screen is off or never activated).  The ``states_incremental`` / ``levels_skipped`` /
     ``levels_total`` / ``rows_recomputed`` / ``rows_total`` counters
     come from the backend's delta-propagation path (zero when the
     backend has no :class:`~repro.solver.cache.EvalContext`).
@@ -107,7 +113,10 @@ class SearchResult:
     cache_misses: int = 0  # makespan rows actually computed
     exact_evals: int = 0       # full-fidelity evaluations performed
     screen_evals: int = 0      # prefix-fidelity screenings performed
-    screened_out: int = 0      # candidates discarded by the screen
+    screened_out: int = 0      # candidates discarded by the prefix screen
+    analytic_evals: int = 0        # tier-0 analytic evaluations performed
+    analytic_screened_out: int = 0  # candidates settled clearly infeasible (no MC)
+    analytic_accepted: int = 0      # candidates settled clearly feasible (no MC)
     states_incremental: int = 0  # states evaluated via delta propagation
     levels_skipped: int = 0      # level recomputations the delta path avoided
     levels_total: int = 0        # level recomputations a full pass would do
@@ -156,7 +165,66 @@ class GenericSearch:
         candidates that are hopeless at full fidelity too are dropped;
         survivors -- and therefore the returned winner -- are always
         re-evaluated at full fidelity.
+    analytic_screen / analytic_margin / analytic_accept_margin:
+        Tier 0 of the three-tier cascade (analytic -> prefix MC ->
+        full MC): before the prefix screen, candidates are evaluated by
+        the moment-propagation
+        :class:`~repro.solver.analytic_backend.AnalyticBackend` (no
+        sampling at all) and classified **two-sided** on the
+        standardized deadline slack ``z = (D - mean) / sd`` against the
+        required quantile ``z_req = ndtri(required_probability)``:
+
+        * ``z <= z_req - analytic_margin`` -- *settled infeasible*:
+          clearly hopeless, no Monte Carlo spent;
+        * ``z >= z_req + analytic_accept_margin`` -- *settled
+          feasible* (*accepted*), no Monte Carlo spent;
+        * otherwise -- *ambiguous*: falls through to the Monte Carlo
+          tiers, which alone replicate sampling noise at the
+          feasibility boundary.
+
+        Settled candidates are not dropped: they join the frontier
+        with a closed-form :class:`StateEval` (``source="analytic"``),
+        so frontier membership -- and therefore the exploration
+        structure -- is unchanged by the tier.  This is sound because
+        the Eq.-1 cost is deterministic (mean times x prices):
+        feasibility is the *only* thing sampling contributes to the
+        search's decisions, so a settled state's incumbent updates and
+        pruning tests are exact, and only the expansion *order among
+        clearly-infeasible states* (a probability tie-break far from
+        the boundary) rests on analytic numbers.
+
+        Both margins are in standard-normal units, calibrated against
+        the measured analytic-vs-MC classification boundary on full
+        cascade trajectories over the workflow catalog: across 15
+        searches (Montage-1/4/8 x 5 seeds) the worst MC-feasible state
+        sat at ``z - z_req = -0.025``, ~10x inside the default reject
+        margin of 0.3 (see BENCH_solver.json's ``analytic.accuracy``
+        section and DESIGN.md §11).  ``analytic_sd_floor`` guards the
+        z-space test on near-deterministic workflows: the
+        classification sd is floored at that fraction of the analytic
+        mean, so a margin of ``m`` always demands at least
+        ``m * floor`` *relative* slack and a sub-percent Clark mean
+        bias (makespan cv << 1%, e.g. LIGO-style chain ensembles)
+        cannot masquerade as many sigmas -- and when even the batch
+        *median* sd falls below the floor, the tier stands down for
+        good rather than mirror degenerate 0/1 Monte Carlo
+        probabilities with a continuous surrogate.  The same
+        feasible-incumbent gate and dry-batch standdown as the prefix
+        screen apply, and the returned plan is identical with the tier
+        on or off (asserted by the test suite and the solver bench).
+        The tier disables itself when the main backend is already
+        analytic, when the problem has fewer than
+        ``analytic_min_tasks`` tasks (the delta-MC path is already
+        cheap there; the tier measured net-negative on Montage-1/4),
+        and when ``required_probability`` is 0 or 1 (``z_req`` is not
+        finite there -- e.g. a 100th-percentile deadline demands
+        *every* sample meet it, which no normal surrogate can
+        certify).
     """
+
+    #: Consecutive no-reject batches after which a screening tier
+    #: stands down (near convergence the passes are pure overhead).
+    _DRY_SCREEN_LIMIT = 2
 
     def __init__(
         self,
@@ -168,6 +236,11 @@ class GenericSearch:
         incremental: bool = True,
         screen_samples: int = 32,
         screen_margin: float = 0.25,
+        analytic_screen: bool = True,
+        analytic_margin: float = 0.3,
+        analytic_accept_margin: float = 1.5,
+        analytic_sd_floor: float = 0.02,
+        analytic_min_tasks: int = 256,
     ):
         if (
             children_per_state < 1
@@ -180,6 +253,12 @@ class GenericSearch:
             raise SolverError("screen_samples must be >= 1")
         if screen_margin < 0:
             raise SolverError("screen_margin must be >= 0")
+        if analytic_margin < 0 or analytic_accept_margin < 0:
+            raise SolverError("analytic margins must be >= 0")
+        if analytic_sd_floor < 0:
+            raise SolverError("analytic_sd_floor must be >= 0")
+        if analytic_min_tasks < 0:
+            raise SolverError("analytic_min_tasks must be >= 0")
         self.backend = backend or VectorizedBackend()
         self.children_per_state = children_per_state
         self.beam_width = beam_width
@@ -188,6 +267,12 @@ class GenericSearch:
         self.incremental = bool(incremental)
         self.screen_samples = int(screen_samples)
         self.screen_margin = float(screen_margin)
+        self.analytic_screen = bool(analytic_screen)
+        self.analytic_margin = float(analytic_margin)
+        self.analytic_accept_margin = float(analytic_accept_margin)
+        self.analytic_sd_floor = float(analytic_sd_floor)
+        self.analytic_min_tasks = int(analytic_min_tasks)
+        self._analytic: EvaluationBackend | None = None
 
     # ------------------------------------------------------------------
 
@@ -227,6 +312,9 @@ class GenericSearch:
         exact_evals = len(frontier_states)
         screen_evals = 0
         screened_out = 0
+        analytic_evals = 0
+        analytic_screened_out = 0
+        analytic_accepted = 0
         best_state, best_eval = None, None
         for st, ev in zip(frontier_states, evals):
             if ev.better_than(best_eval):
@@ -237,6 +325,7 @@ class GenericSearch:
         trace = [(evaluations, best_eval.cost if best_eval.feasible else float("inf"))]
         expansions = 0
         dry_screens = 0
+        dry_analytic = 0
 
         while frontier and evaluations < self.max_evaluations:
             frontier.sort(key=lambda se: self._priority(se[1]))
@@ -262,44 +351,137 @@ class GenericSearch:
             # the search decisions) identical with screening on or off.
             evaluations += len(children)
 
-            # Stage 1: prefix-fidelity screen (common random numbers).
-            # Only active once a feasible incumbent exists: an infeasible
-            # candidate can never unseat a feasible best, so a candidate
-            # screened as hopelessly infeasible can only have influenced
-            # the frontier tail the beam was going to trim anyway.
-            # The screen stands down after two consecutive batches where
-            # it rejected nothing: near convergence every candidate is a
-            # one-step edit of a feasible state, so the prefix pass is
-            # pure overhead.  The trigger counts rejections only --
-            # deterministic, so the trajectory stays run-to-run stable
-            # (and plan-identical: screening never changes selections).
+            # Tier 0: two-sided analytic classification (no sampling).
+            # The gating logic mirrors the prefix screen below -- only
+            # active once a feasible incumbent exists -- with its own
+            # dry-batch standdown.  Classification happens on the
+            # standardized slack z (see the class docstring): the
+            # calibrated margins absorb the independence/normal
+            # approximation error, so a settled candidate's *feasible*
+            # flag matches what full-fidelity MC would have concluded.
+            # Settled candidates skip the Monte Carlo tiers entirely
+            # but stay in the search: because the Eq.-1 cost is
+            # deterministic, a settled StateEval drives the exact same
+            # incumbent/prune decisions the MC one would, and only the
+            # frontier ordering *among clearly-infeasible states* (a
+            # probability tie-break) rests on the analytic numbers.
             survivors = children
-            if dry_screens < 2 and self._screen_active(problem, best_eval, len(children)):
-                probs = self.backend.screen_probabilities(
-                    problem, children, self.screen_samples
+            settled: dict[bytes, StateEval] = {}
+            if dry_analytic < self._DRY_SCREEN_LIMIT and self._analytic_active(
+                problem, best_eval, len(survivors)
+            ):
+                a_mean, a_var = self._analytic_evaluator().makespan_moments(
+                    problem, survivors
                 )
-                screen_evals += len(children)
+                sd = np.sqrt(np.maximum(a_var, 0.0))
+                floor = self.analytic_sd_floor * np.abs(a_mean)
+                if float(np.median(sd)) < float(np.median(floor)):
+                    # Near-deterministic makespans (cv below the sd
+                    # floor, e.g. long LIGO-style chains where variance
+                    # averages out): MC deadline probabilities are
+                    # degenerate 0/1 coin-edges there, so mirroring them
+                    # from moments is hopeless and the tier's numbers
+                    # would perturb the frontier's probability
+                    # tie-breaks.  The tier stands down for good --
+                    # makespan dispersion is a property of the workflow,
+                    # not of the frontier position.
+                    dry_analytic = self._DRY_SCREEN_LIMIT
+                    decided = None
+                else:
+                    # The classification sd is floored at
+                    # ``analytic_sd_floor`` of the mean, so margins
+                    # always demand a minimum *relative* deadline slack
+                    # on top of the sigma count.
+                    np.maximum(sd, floor, out=sd)
+                    z = (problem.deadline - a_mean) / np.maximum(sd, 1e-9)
+                    analytic_evals += len(survivors)
+                    z_req = float(ndtri(problem.required_probability))
+                    decided = (z <= z_req - self.analytic_margin) | (
+                        z >= z_req + self.analytic_accept_margin
+                    )
+                if decided is None:
+                    pass
+                elif decided.any():
+                    idx = np.nonzero(decided)[0]
+                    dec_states = [survivors[i] for i in idx]
+                    costs = problem.expected_cost_batch(
+                        np.stack([st.assignment for st in dec_states])
+                    )
+                    probs = ndtr(z[idx])
+                    for j, (st, c) in enumerate(zip(dec_states, costs)):
+                        feas = bool(z[idx[j]] >= z_req)
+                        settled[st.key] = StateEval(
+                            cost=float(c),
+                            probability=float(probs[j]),
+                            feasible=feas,
+                            mean_makespan=float(a_mean[idx[j]]),
+                            source="analytic",
+                        )
+                        if feas:
+                            analytic_accepted += 1
+                        else:
+                            analytic_screened_out += 1
+                    survivors = [
+                        c for c, d in zip(survivors, decided) if not d
+                    ]
+                    dry_analytic = 0
+                else:
+                    dry_analytic += 1
+
+            # Tier 1: prefix-fidelity screen (common random numbers)
+            # over the ambiguous band.  Stands down after two
+            # consecutive batches where it rejected nothing: near
+            # convergence every candidate is a one-step edit of a
+            # feasible state, so the prefix pass is pure overhead.  The
+            # trigger counts rejections only -- deterministic, so the
+            # trajectory stays run-to-run stable (and plan-identical:
+            # screening never changes selections).
+            if survivors and dry_screens < self._DRY_SCREEN_LIMIT and self._screen_active(
+                problem, best_eval, len(survivors)
+            ):
+                probs = self.backend.screen_probabilities(
+                    problem, survivors, self.screen_samples
+                )
+                screen_evals += len(survivors)
                 keep = probs + self.screen_margin >= problem.required_probability
                 if not np.all(keep):
-                    survivors = [c for c, k in zip(children, keep) if k]
-                    screened_out += len(children) - len(survivors)
+                    dropped = len(survivors)
+                    survivors = [c for c, k in zip(survivors, keep) if k]
+                    screened_out += dropped - len(survivors)
                     dry_screens = 0
                 else:
                     dry_screens += 1
-            if not survivors:
+
+            # Pin the expanded parents' finish-time frontiers so tier 2
+            # evaluates the survivors through the delta-propagation
+            # path.  Only parents that still have an MC-bound child are
+            # pinned -- a frontier is a performance hint, not a
+            # correctness requirement, and pinning a parent whose whole
+            # brood tier 0 settled would be pure wasted propagation.
+            if survivors:
+                if self.incremental and hasattr(self.backend, "ensure_frontier"):
+                    needed = {c.parent_key for c in survivors}
+                    for state, _ in batch:
+                        if state.key in needed:
+                            self.backend.ensure_frontier(problem, state)
+
+                # Tier 2: full-fidelity evaluation of the survivors.
+                child_evals = self.backend.evaluate_batch(problem, survivors)
+                exact_evals += len(survivors)
+                settled.update(
+                    (cst.key, cev) for cst, cev in zip(survivors, child_evals)
+                )
+            if not settled:
                 continue
 
-            # Pin the expanded parents' finish-time frontiers so stage 2
-            # evaluates the survivors through the delta-propagation path.
-            if self.incremental and hasattr(self.backend, "ensure_frontier"):
-                for state, _ in batch:
-                    self.backend.ensure_frontier(problem, state)
-
-            # Stage 2: full-fidelity evaluation of the survivors.
-            child_evals = self.backend.evaluate_batch(problem, survivors)
-            exact_evals += len(survivors)
-
-            for cst, cev in zip(survivors, child_evals):
+            # Merge in the *original* child order: incumbent updates on
+            # exact-cost ties keep the first-seen winner, so the
+            # iteration order must not depend on which tier settled a
+            # candidate for the cascade to stay plan-identical.
+            for cst in children:
+                cev = settled.get(cst.key)
+                if cev is None:
+                    continue
                 if cev.better_than(best_eval):
                     best_state, best_eval = cst, cev
                     trace.append(
@@ -310,6 +492,15 @@ class GenericSearch:
                 if best_eval.feasible and cev.cost >= best_eval.cost and cev.feasible:
                     continue
                 frontier.append((cst, cev))
+
+        # An incumbent settled by tier 0 carries analytic numbers; the
+        # *choice* is already exact (feasibility guaranteed by the
+        # calibrated accept margin, cost deterministic), but the
+        # reported probability / mean makespan should come from the
+        # full-fidelity referee like every other returned plan's.
+        if best_eval.source == "analytic":
+            best_eval = self.backend.evaluate_batch(problem, [best_state])[0]
+            exact_evals += 1
 
         delta1 = dict(getattr(self.backend, "delta_counters", None) or {})
         return SearchResult(
@@ -324,6 +515,9 @@ class GenericSearch:
             exact_evals=exact_evals,
             screen_evals=screen_evals,
             screened_out=screened_out,
+            analytic_evals=analytic_evals,
+            analytic_screened_out=analytic_screened_out,
+            analytic_accepted=analytic_accepted,
             states_incremental=delta1.get("states_incremental", 0)
             - delta0.get("states_incremental", 0),
             levels_skipped=delta1.get("levels_skipped", 0)
@@ -335,6 +529,53 @@ class GenericSearch:
         )
 
     # ------------------------------------------------------------------
+
+    def _analytic_evaluator(self):
+        """The lazily built tier-0 analytic evaluator.
+
+        Shares the main backend's :class:`~repro.solver.cache.ScratchPool`
+        when it exposes one, so the cascade's tiers do not pin duplicate
+        large buffers.
+        """
+        if self._analytic is None:
+            from repro.solver.analytic_backend import AnalyticBackend
+
+            self._analytic = AnalyticBackend(pool=getattr(self.backend, "pool", None))
+        return self._analytic
+
+    def analytic_stats(self) -> dict | None:
+        """Tier-0 work counters, or ``None`` if the tier never ran."""
+        if self._analytic is None:
+            return None
+        return self._analytic.analytic_stats()
+
+    def _analytic_active(
+        self, problem: CompiledProblem, best: StateEval | None, batch_size: int
+    ) -> bool:
+        """Whether the tier-0 analytic screen should run for this batch.
+
+        Requires a feasible incumbent (same identity argument as the
+        prefix screen -- and it guarantees the reliability constraint,
+        which is assignment-free, is satisfiable, so an accepted
+        candidate really is feasible), enough candidates to amortize
+        the pass, a problem at or above the measured size crossover
+        (``analytic_min_tasks``: below it the delta-propagation MC path
+        is already so cheap that the extra analytic pass nets out
+        negative -- montage-4/240 tasks measures ~0.9x, montage-8/680
+        tasks 2-3x), a finite required quantile (``ndtri`` of 0 or 1 is
+        infinite and nothing could be classified), and a main backend
+        that is not itself analytic (the tier would just repeat the
+        final evaluation).
+        """
+        return (
+            self.analytic_screen
+            and best is not None
+            and best.feasible
+            and batch_size >= 4
+            and problem.num_tasks >= self.analytic_min_tasks
+            and 0.0 < problem.required_probability < 1.0
+            and getattr(self.backend, "name", "") != "analytic"
+        )
 
     def _screen_active(
         self, problem: CompiledProblem, best: StateEval | None, batch_size: int

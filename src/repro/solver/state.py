@@ -101,12 +101,17 @@ class StateEval:
     ``cost`` is the paper's Eq. 1 objective; ``probability`` estimates
     P(makespan <= deadline); ``feasible`` is that probability meeting
     the declared percentile; ``mean_makespan`` is informational.
+    ``source`` records which evaluation tier produced the numbers --
+    ``"mc"`` for Monte Carlo backends, ``"analytic"`` for the
+    moment-propagation backend -- so cascade introspection and the
+    benchmarks can attribute evaluations without guessing.
     """
 
     cost: float
     probability: float
     feasible: bool
     mean_makespan: float
+    source: str = "mc"
 
     def better_than(self, other: "StateEval | None", mode: str = "minimize") -> bool:
         """Feasibility-first comparison used by the search."""

@@ -20,6 +20,7 @@ ROW_FIELDS = {
     "host_cpu_count",
     "serial_seconds",
     "parallel_seconds",
+    "oversubscribed",
     "speedup",
     "efficiency",
     "identical",
@@ -56,6 +57,11 @@ class TestBenchParallel:
     def test_host_cpu_count_positive(self):
         assert host_cpu_count() >= 1
         assert 2 <= default_bench_workers() <= 4
+
+    def test_oversubscribed_flag_reflects_host(self, rows):
+        # 2 workers were requested; the flag must agree with the host.
+        for row in rows:
+            assert row["oversubscribed"] == (2 > row["host_cpu_count"])
 
 
 class TestWriteBenchParallelJson:

@@ -43,7 +43,10 @@ class TestResolveWorkers:
         monkeypatch.delenv(ENV_WORKERS, raising=False)
         assert resolve_workers(None) == 1
 
-    def test_explicit_value(self):
+    def test_explicit_value(self, monkeypatch):
+        # Pin the CPU count so a 1-core host doesn't also trip the
+        # oversubscription warning (covered by its own test class).
+        monkeypatch.setattr(executor_mod, "host_cpu_count", lambda: 4)
         assert resolve_workers(3) == 3
 
     @pytest.mark.parametrize("bad", [0, -1, 2.5, "4", True])
@@ -208,3 +211,37 @@ class TestChunkEvenly:
         items = list(range(23))
         flat = [x for chunk in chunk_evenly(items, 4) for x in chunk]
         assert flat == items
+
+class TestOversubscriptionWarning:
+    @pytest.fixture(autouse=True)
+    def reset_warning_flag(self):
+        executor_mod._warned_oversubscription = False
+        yield
+        executor_mod._warned_oversubscription = False
+
+    def test_warns_once_above_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "host_cpu_count", lambda: 2)
+        with pytest.warns(RuntimeWarning, match="only 2 usable CPU"):
+            assert resolve_workers(5) == 5
+        # Once per process: the second oversubscribed resolve is silent.
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(5) == 5
+
+    def test_no_warning_at_or_below_cpu_count(self, monkeypatch):
+        monkeypatch.setattr(executor_mod, "host_cpu_count", lambda: 4)
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_workers(4) == 4
+            assert resolve_workers(1) == 1
+
+    def test_count_is_never_clamped(self, monkeypatch):
+        # The warning is advisory: benchmarks measuring the oversubscribed
+        # regime still get exactly the workers they asked for.
+        monkeypatch.setattr(executor_mod, "host_cpu_count", lambda: 1)
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(8) == 8

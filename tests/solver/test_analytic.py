@@ -109,3 +109,62 @@ class TestDegenerate:
         h = analytic_makespan(wf, {"a": "m1.small", "b": "m1.small"}, runtime_model)
         assert h.std() == pytest.approx(0.0)
         assert h.mean() == pytest.approx(150.0)
+
+
+class _DuckWorkflow:
+    """The minimal surface the propagation walks, with broken edges.
+
+    :class:`Workflow` refuses to construct cycles, but duck-typed
+    workflow objects reach :func:`analytic_makespan` in practice -- the
+    explicit topological validation must turn their inconsistencies
+    into a named :class:`SolverError`, not a ``KeyError`` mid-loop.
+    """
+
+    name = "duck"
+
+    def __init__(self, parents):
+        self._parents = parents
+        self.task_ids = tuple(parents)
+
+    def parents(self, tid):
+        return tuple(self._parents[tid])
+
+    def task(self, tid):
+        return Task(task_id=tid, runtime_ref=100.0)
+
+    def leaves(self):
+        with_children = {p for ps in self._parents.values() for p in ps}
+        return [t for t in self.task_ids if t not in with_children]
+
+
+class TestTopologicalValidation:
+    def test_cycle_raises_named_error(self, runtime_model):
+        wf = _DuckWorkflow({"a": ["b"], "b": ["a"]})
+        with pytest.raises(SolverError, match="not acyclic"):
+            analytic_makespan(wf, {"a": "m1.small", "b": "m1.small"}, runtime_model)
+
+    def test_self_loop_raises(self, runtime_model):
+        wf = _DuckWorkflow({"a": [], "b": ["b"]})
+        with pytest.raises(SolverError, match="not acyclic"):
+            analytic_makespan(wf, {"a": "m1.small", "b": "m1.small"}, runtime_model)
+
+    def test_unknown_parent_raises(self, runtime_model):
+        wf = _DuckWorkflow({"a": ["ghost"]})
+        with pytest.raises(SolverError, match="unknown parent"):
+            analytic_makespan(wf, {"a": "m1.small"}, runtime_model)
+
+    def test_error_names_cyclic_tasks(self, runtime_model):
+        wf = _DuckWorkflow({"ok": [], "x": ["y"], "y": ["x"]})
+        with pytest.raises(SolverError, match=r"\['x', 'y'\]"):
+            analytic_makespan(
+                wf, {t: "m1.small" for t in ("ok", "x", "y")}, runtime_model
+            )
+
+    def test_declaration_order_not_trusted(self, runtime_model):
+        """Tasks declared child-before-parent still propagate correctly:
+        the order is re-derived, not read off ``task_ids``."""
+        wf = _DuckWorkflow({"late": ["early"], "early": []})
+        h = analytic_makespan(
+            wf, {"late": "m1.small", "early": "m1.small"}, runtime_model
+        )
+        assert h.mean() > 0.0

@@ -365,3 +365,55 @@ class TestFaultFlags:
         assert payload["benchmark"] == "fault_ablation"
         assert payload["failure_rate"] == 0.12
         assert payload["identical"] is True
+
+
+class TestBackendFlags:
+    def test_schedule_analytic_backend(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--backend", "analytic", "--samples", "40", "--evals", "150"]
+        )
+        assert code == 0
+        assert "backend:         analytic" in text
+
+    def test_schedule_rejects_unknown_backend(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--backend", "bogus"]
+        )
+        assert code == 2
+        assert "--backend must be one of" in text
+        assert "analytic" in text  # the message names the valid choices
+        assert text.count("\n") == 1  # one-line usage error, no traceback
+
+    def test_bench_solver_rejects_unknown_backend(self, tmp_path):
+        code, text = run_cli(
+            ["bench", "solver", "--out", str(tmp_path / "x.json"),
+             "--backend", "turbo"]
+        )
+        assert code == 2
+        assert "--backend must be one of" in text
+
+    def test_bench_solver_skips_sections(self, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_solver.json"
+        code, text = run_cli(
+            ["bench", "solver", "--out", str(out_path),
+             "--no-incremental", "--no-analytic-screen",
+             "--samples", "20", "--evals", "50"]
+        )
+        assert code == 0
+        assert "section skipped" in text
+        payload = json.loads(out_path.read_text())
+        assert payload["incremental"]["per_state"] == []
+        assert payload["analytic"]["per_state"] == []
+        assert payload["analytic"]["accuracy"] == []
+
+    def test_schedule_no_analytic_screen(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--no-analytic-screen", "--samples", "40", "--evals", "150"]
+        )
+        assert code == 0
+        assert "feasible:        True" in text
