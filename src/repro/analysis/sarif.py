@@ -1,0 +1,84 @@
+"""SARIF 2.1.0 emission, shared by ``repro lint`` and ``repro analyze``.
+
+One run, one driver (``repro-wlog``); the rule table carries only the
+checks actually referenced by results, each with its catalog name,
+description and default severity, so GitHub code scanning renders the
+whole E1xx-W4xx stream from either command identically.
+"""
+
+from __future__ import annotations
+
+from repro.wlog.diagnostics import CHECKS, Diagnostic
+
+__all__ = ["to_sarif", "SARIF_VERSION", "SARIF_SCHEMA"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_TOOL_NAME = "repro-wlog"
+_TOOL_URI = "https://github.com/deco-repro/repro"
+
+
+def _rule_object(check: str) -> dict:
+    name, severity, description = CHECKS.get(check, (check, "warning", check))
+    return {
+        "id": check,
+        "name": name,
+        "shortDescription": {"text": description},
+        "defaultConfiguration": {"level": severity},
+    }
+
+
+def _result_object(filename: str, diag: Diagnostic, rule_index: int) -> dict:
+    result: dict = {
+        "ruleId": diag.check,
+        "ruleIndex": rule_index,
+        "level": diag.severity,
+        "message": {"text": diag.message},
+    }
+    region: dict = {}
+    if diag.span is not None:
+        region = {"startLine": diag.span.line, "startColumn": diag.span.column}
+        if diag.span.end_column:
+            region["endLine"] = diag.span.end_line
+            region["endColumn"] = diag.span.end_column
+    location: dict = {"physicalLocation": {"artifactLocation": {"uri": filename}}}
+    if region:
+        location["physicalLocation"]["region"] = region
+    result["locations"] = [location]
+    return result
+
+
+def to_sarif(findings: list[tuple[str, Diagnostic]]) -> dict:
+    """A SARIF 2.1.0 log for ``(filename, diagnostic)`` findings.
+
+    Filenames should be relative paths (SARIF artifact URIs); stdin or
+    in-memory programs conventionally pass ``"<stdin>"``/``"<program>"``.
+    """
+    rule_ids: list[str] = []
+    rule_index: dict[str, int] = {}
+    results: list[dict] = []
+    for filename, diag in findings:
+        if diag.check not in rule_index:
+            rule_index[diag.check] = len(rule_ids)
+            rule_ids.append(diag.check)
+        results.append(_result_object(filename, diag, rule_index[diag.check]))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": [_rule_object(cid) for cid in rule_ids],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }

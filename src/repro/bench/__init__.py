@@ -32,6 +32,7 @@ from repro.bench.perf import (
     analytic_speedup,
     analytic_accuracy,
     cascade_search,
+    dominance_search,
     optimization_overhead,
     write_bench_solver_json,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "analytic_speedup",
     "analytic_accuracy",
     "cascade_search",
+    "dominance_search",
     "optimization_overhead",
     "write_bench_solver_json",
     "bench_faults",

@@ -21,6 +21,12 @@
   fidelity screening) vs one with ``incremental=False``, reporting
   wall-clock and an ``identical`` flag over the plans' decision dicts.
 
+* :func:`dominance_search` -- the dominance analysis's end-to-end
+  comparison: one Deco solve with the op mask (futile-promote settling)
+  and one with ``dominance_mask=False``, decision dicts compared byte
+  for byte, with the ``pruned_candidates`` counter showing how many
+  full evaluations the mask proved away.
+
 * :func:`optimization_overhead` -- the paper's end-to-end figure of
   merit: 4.3-63.17 ms of optimization time per task for 20-1000-task
   workflows.  Rows carry the makespan-cache hit/miss counters of the
@@ -57,6 +63,7 @@ __all__ = [
     "analytic_speedup",
     "analytic_accuracy",
     "cascade_search",
+    "dominance_search",
     "optimization_overhead",
     "write_bench_solver_json",
 ]
@@ -493,6 +500,77 @@ def cascade_search(
                 "analytic_accepted": result.analytic_accepted,
                 "exact_evals": result.exact_evals,
                 "screen_evals": result.screen_evals,
+                "pruned_candidates": result.pruned_candidates,
+            }
+        )
+    return rows
+
+
+def dominance_search(
+    config: BenchConfig | None = None,
+    repeats: int = 3,
+    backend: str = "gpu",
+) -> list[dict]:
+    """End-to-end solve: dominance mask on vs off, same plan either way.
+
+    One :meth:`Deco.schedule` per case with the op mask enabled (the
+    default) and one with ``dominance_mask=False``, decision dicts
+    compared byte for byte.  ``identical`` must be True: a masked child
+    inherits an evaluation that is provably bitwise what the backend
+    would have computed, so the mask can never change which plan wins.
+
+    Two cases probe the two regimes.  Montage runs with the full
+    incremental engine -- there the prefix screen already discards the
+    hopeless candidates at 32-sample fidelity, so the mask's skip count
+    is expected to be ~0 and the row is a pure identity check.  LIGO
+    runs with ``incremental=False`` (no screening tiers): its long
+    chains make most off-path exploration promotes provably
+    never-critical, and the mask is what stands between them and a
+    full Monte Carlo evaluation -- ``pruned_candidates`` counts the
+    full evaluations it proved away.
+    """
+    config = config or BenchConfig()
+    cases = [
+        (montage(degrees=4.0, seed=config.seed), True),
+        (ligo(num_tasks=100, seed=config.seed), False),
+    ]
+    rows = []
+    for wf, incremental in cases:
+        common = dict(backend=backend, incremental=incremental)
+
+        plan_off = config.deco(dominance_mask=False, **common).schedule(
+            wf, "medium", deadline_percentile=config.deadline_percentile
+        )
+        t_off = _best_of(
+            lambda: config.deco(dominance_mask=False, **common).schedule(
+                wf, "medium", deadline_percentile=config.deadline_percentile
+            ),
+            repeats,
+        )
+
+        deco_on = config.deco(dominance_mask=True, **common)
+        plan_on = deco_on.schedule(wf, "medium", deadline_percentile=config.deadline_percentile)
+        t_on = _best_of(
+            lambda: config.deco(dominance_mask=True, **common).schedule(
+                wf, "medium", deadline_percentile=config.deadline_percentile
+            ),
+            repeats,
+        )
+
+        result = deco_on.last_result
+        assert result is not None
+        rows.append(
+            {
+                "workflow": wf.name,
+                "tasks": len(wf),
+                "incremental": incremental,
+                "mask_off_s": t_off,
+                "mask_on_s": t_on,
+                "mask_speedup": t_off / t_on,
+                "identical": plan_on.decision_dict() == plan_off.decision_dict(),
+                "evaluations": result.evaluations,
+                "exact_evals": result.exact_evals,
+                "pruned_candidates": result.pruned_candidates,
             }
         )
     return rows
@@ -554,6 +632,7 @@ def write_bench_solver_json(
     analytic_rows: list[dict] | None = None,
     analytic_accuracy_rows: list[dict] | None = None,
     cascade_rows: list[dict] | None = None,
+    dominance_rows: list[dict] | None = None,
 ) -> dict:
     """Write the machine-readable solver benchmark (``BENCH_solver.json``).
 
@@ -595,6 +674,11 @@ def write_bench_solver_json(
                 else analytic_accuracy(config)
             ),
             "cascade": cascade_rows if cascade_rows is not None else cascade_search(config),
+        },
+        "dominance": {
+            "search": (
+                dominance_rows if dominance_rows is not None else dominance_search(config)
+            ),
         },
         "optimization_overhead": (
             overhead_rows if overhead_rows is not None else optimization_overhead(config)

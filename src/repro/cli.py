@@ -11,10 +11,14 @@ Usage::
     python -m repro schedule --dax workflow.xml --deadline 36000
     python -m repro schedule --faults --failure-rate 0.1 --execute
     python -m repro bench parallel [--workers 4] [--runs 100] [--out PATH]
-    python -m repro bench solver [--backend gpu|cpu|analytic] [--no-analytic-screen]
+    python -m repro bench solver [--backend gpu|cpu|analytic] [--no-analytic-screen] \
+        [--no-dominance-mask]
     python -m repro bench faults [--failure-rate 0.12] [--mtbf 36000]
-    python -m repro lint program.wlog [--format json] [--strict]
+    python -m repro lint program.wlog [--format json|sarif] [--strict]
     python -m repro lint --bundled
+    python -m repro lint --explain
+    python -m repro analyze program.wlog [--format json|sarif] [--strict]
+    python -m repro analyze --bundled
     python -m repro calibrate
 
 ``run`` regenerates a paper table/figure through the same drivers the
@@ -22,8 +26,10 @@ benchmark harness uses and prints the table; ``schedule`` runs one Deco
 optimization and prints the plan; ``bench`` emits the machine-readable
 benchmark JSON files (``BENCH_parallel.json`` / ``BENCH_solver.json``);
 ``lint`` runs the WLog static analyzer (:mod:`repro.wlog.analysis`)
-over program files or the bundled templates; ``calibrate`` reproduces
-Table 2.
+over program files or the bundled templates; ``analyze`` runs the
+lint checks *plus* the semantic pass framework (:mod:`repro.analysis`:
+interval feasibility proofs, dead-rule elimination) in one diagnostic
+stream; ``calibrate`` reproduces Table 2.
 
 ``--workers N`` (or the ``REPRO_WORKERS`` environment variable) fans
 the embarrassingly parallel stages -- simulation replications and
@@ -147,6 +153,9 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable tier 0 of the screening cascade (analytic "
                             "classification); slower on large workflows, plans "
                             "are identical either way")
+    sched.add_argument("--no-dominance-mask", action="store_true",
+                       help="disable the dominance analysis (futile-promote "
+                            "settling); plans are identical either way")
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
     sched.add_argument("--workers", default=None, metavar="N", help=workers_help)
@@ -188,19 +197,29 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="skip the analytic-cascade section of the solver "
                             "bench (and its on/off plan-identity + error-bound "
                             "gates)")
+    bench.add_argument("--no-dominance-mask", action="store_true",
+                       help="skip the dominance-mask section of the solver "
+                            "bench (and its on/off plan-identity gate)")
 
     lint = sub.add_parser("lint", help="statically analyze WLog program files")
-    lint.add_argument("files", nargs="*", metavar="FILE",
-                      help="WLog program files ('-' for stdin)")
-    lint.add_argument("--bundled", action="store_true",
-                      help="lint the bundled library templates instead of files")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      help="diagnostic output format")
-    lint.add_argument("--strict", action="store_true",
-                      help="treat warnings as errors for the exit code")
-    lint.add_argument("--assume", action="append", default=[], metavar="PRED/ARITY",
-                      help="declare an externally-supplied fact family "
-                           "(repeatable, e.g. --assume wscore/2)")
+    analyze = sub.add_parser(
+        "analyze",
+        help="lint + semantic passes (feasibility proofs, dead rules)",
+    )
+    for cmd in (lint, analyze):
+        cmd.add_argument("files", nargs="*", metavar="FILE",
+                         help="WLog program files ('-' for stdin)")
+        cmd.add_argument("--bundled", action="store_true",
+                         help="check the bundled library templates instead of files")
+        cmd.add_argument("--format", choices=("text", "json", "sarif"), default="text",
+                         help="diagnostic output format")
+        cmd.add_argument("--strict", action="store_true",
+                         help="treat warnings as errors for the exit code")
+        cmd.add_argument("--assume", action="append", default=[], metavar="PRED/ARITY",
+                         help="declare an externally-supplied fact family "
+                              "(repeatable, e.g. --assume wscore/2)")
+    lint.add_argument("--explain", action="store_true",
+                      help="print the check catalog (docs/checks.md source) and exit")
 
     sub.add_parser("calibrate", help="run the calibration campaign (Table 2)")
     return parser
@@ -336,7 +355,8 @@ def _cmd_schedule(args, out) -> int:
                 max_evaluations=args.evals,
                 backend=args.backend,
                 incremental=not args.no_incremental,
-                analytic_screen=not args.no_analytic_screen)
+                analytic_screen=not args.no_analytic_screen,
+                dominance_mask=not args.no_dominance_mask)
     try:
         deadline: float | str = float(args.deadline)
     except ValueError:
@@ -395,10 +415,11 @@ def _parse_assumes(specs: list[str], out) -> set[tuple[str, int]] | int:
     return assumes
 
 
-def _cmd_lint(args, out) -> int:
-    from repro.common.errors import WLogError, WLogSyntaxError
-    from repro.wlog.analysis import analyze_program
-    from repro.wlog.diagnostics import Diagnostic, Span, render_diagnostic
+def _collect_targets(args, out, verb: str):
+    """``(filename, source, extra_assumes)`` triples for lint/analyze.
+
+    Returns the list, or an ``int`` exit code on a usage error.
+    """
     from repro.wlog.library import bundled_programs
 
     assumes = _parse_assumes(args.assume, out)
@@ -412,7 +433,7 @@ def _cmd_lint(args, out) -> int:
     if args.files and args.bundled:
         return _usage_error(out, "pass either FILE arguments or --bundled, not both")
     if not args.files and not args.bundled:
-        return _usage_error(out, "nothing to lint: pass WLog files or --bundled")
+        return _usage_error(out, f"nothing to {verb}: pass WLog files or --bundled")
     for file in args.files:
         if file == "-":
             targets.append(("<stdin>", sys.stdin.read(), set(assumes)))
@@ -424,32 +445,36 @@ def _cmd_lint(args, out) -> int:
             targets.append((str(path), path.read_text(), set(assumes)))
         except (OSError, UnicodeDecodeError) as exc:
             return _usage_error(out, f"cannot read {path}: {exc}")
+    return targets
 
-    total_errors = 0
-    total_warnings = 0
-    json_out: list[dict] = []
-    for filename, source, extra in targets:
-        try:
-            diagnostics = analyze_program(source, extra_predicates=extra)
-        except WLogSyntaxError as exc:
-            span = Span(exc.line, exc.column) if exc.line else None
-            diagnostics = [
-                Diagnostic("E101", "error", exc.base_message, span=span)
-            ]
-        except WLogError as exc:
-            diagnostics = [Diagnostic("E101", "error", str(exc))]
-        for diag in diagnostics:
-            promoted = diag.is_error or args.strict
-            total_errors += 1 if promoted else 0
-            total_warnings += 0 if promoted else 1
-            if args.format == "json":
-                json_out.append({"file": filename, **diag.to_dict()})
-            else:
-                print(render_diagnostic(diag, source, filename), file=out)
 
-    if args.format == "json":
-        print(json.dumps(json_out, indent=2), file=out)
+def _emit_findings(args, out, targets, findings) -> int:
+    """Render ``(filename, diagnostic)`` findings in the chosen format.
+
+    ``lint`` and ``analyze`` share this emitter, so text, JSON, and
+    SARIF output are shaped identically for both commands.  Returns the
+    exit code (1 when any finding is fatal under ``--strict`` rules).
+    """
+    from repro.analysis.sarif import to_sarif
+    from repro.wlog.diagnostics import render_diagnostic
+
+    sources = {filename: source for filename, source, _ in targets}
+    total_errors = sum(
+        1 for _, diag in findings if diag.is_error or args.strict
+    )
+    total_warnings = len(findings) - total_errors
+    if args.format == "sarif":
+        print(json.dumps(to_sarif(findings), indent=2), file=out)
+    elif args.format == "json":
+        print(
+            json.dumps(
+                [{"file": f, **diag.to_dict()} for f, diag in findings], indent=2
+            ),
+            file=out,
+        )
     else:
+        for filename, diag in findings:
+            print(render_diagnostic(diag, sources.get(filename), filename), file=out)
         checked = len(targets)
         noun = "program" if checked == 1 else "programs"
         print(
@@ -458,6 +483,82 @@ def _cmd_lint(args, out) -> int:
             file=out,
         )
     return 1 if total_errors else 0
+
+
+def _syntactic_findings(filename: str, source: str, extra):
+    """The linter's diagnostics for one program, syntax errors included."""
+    from repro.common.errors import WLogError, WLogSyntaxError
+    from repro.wlog.analysis import analyze_program
+    from repro.wlog.diagnostics import Diagnostic, Span
+
+    try:
+        return list(analyze_program(source, extra_predicates=extra))
+    except WLogSyntaxError as exc:
+        span = Span(exc.line, exc.column) if exc.line else None
+        return [Diagnostic("E101", "error", exc.base_message, span=span)]
+    except WLogError as exc:
+        return [Diagnostic("E101", "error", str(exc))]
+
+
+def _cmd_lint(args, out) -> int:
+    if args.explain:
+        from repro.wlog.diagnostics import checks_markdown
+
+        print(checks_markdown(), file=out, end="")
+        return 0
+    targets = _collect_targets(args, out, "lint")
+    if isinstance(targets, int):
+        return targets
+    findings = [
+        (filename, diag)
+        for filename, source, extra in targets
+        for diag in _syntactic_findings(filename, source, extra)
+    ]
+    return _emit_findings(args, out, targets, findings)
+
+
+def _default_analyze_registry():
+    """The import registry ``repro analyze`` binds program imports against.
+
+    Mirrors what the bundled templates import: the EC2 catalog as
+    ``amazonec2`` plus the four workflow generators at their default
+    sizes.  Programs importing other names still get the full
+    syntactic analysis; the semantic passes simply skip what they
+    cannot resolve.
+    """
+    from repro.cloud import ec2_catalog
+    from repro.wlog.imports import ImportRegistry
+    from repro.workflow import generators
+
+    registry = ImportRegistry()
+    registry.register_cloud("amazonec2", ec2_catalog())
+    registry.register_workflow("montage", generators.montage(degrees=1.0))
+    registry.register_workflow("ligo", generators.ligo(num_tasks=100))
+    registry.register_workflow("epigenomics", generators.epigenomics(num_tasks=100))
+    registry.register_workflow("cybershake", generators.cybershake(num_tasks=100))
+    return registry
+
+
+def _cmd_analyze(args, out) -> int:
+    from repro.analysis import analyze_semantics
+
+    targets = _collect_targets(args, out, "analyze")
+    if isinstance(targets, int):
+        return targets
+    registry = _default_analyze_registry()
+    findings = []
+    for filename, source, extra in targets:
+        diagnostics = _syntactic_findings(filename, source, extra)
+        # Semantic passes need a parseable program; on syntax errors the
+        # E101 above is the whole story.
+        if not any(d.check == "E101" for d in diagnostics):
+            report = analyze_semantics(source, registry=registry, filename=filename)
+            diagnostics.extend(report.diagnostics)
+        findings.extend(
+            (filename, diag)
+            for diag in sorted(diagnostics, key=lambda d: d.sort_key())
+        )
+    return _emit_findings(args, out, targets, findings)
 
 
 def _cmd_bench(args, out) -> int:
@@ -513,6 +614,7 @@ def _cmd_bench(args, out) -> int:
         analytic_accuracy,
         analytic_speedup,
         cascade_search,
+        dominance_search,
         incremental_search,
         incremental_speedup,
         write_bench_solver_json,
@@ -550,6 +652,11 @@ def _cmd_bench(args, out) -> int:
     if not args.no_analytic_screen:
         acc_rows = analytic_accuracy(config)
         cascade_rows = cascade_search(config, backend=args.backend)
+    if args.no_dominance_mask:
+        dominance_rows: list[dict] = []
+        skipped.append("dominance")
+    else:
+        dominance_rows = dominance_search(config, backend=args.backend)
     payload = write_bench_solver_json(
         path,
         config,
@@ -558,6 +665,7 @@ def _cmd_bench(args, out) -> int:
         analytic_rows=an_rows,
         analytic_accuracy_rows=acc_rows,
         cascade_rows=cascade_rows,
+        dominance_rows=dominance_rows,
     )
     print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
     if inc_rows:
@@ -576,10 +684,14 @@ def _cmd_bench(args, out) -> int:
         )
         print(format_table(acc_rows, "Analytic accuracy vs full Monte Carlo"), file=out)
         print(format_table(cascade_rows, "Screening cascade: tier 0 on vs off"), file=out)
+    if dominance_rows:
+        print(format_table(dominance_rows, "Dominance mask: on vs off"), file=out)
     # Neither optimization may ever change a decision: fail the bench
     # (exit 1) on any plan/sample divergence, or on an analytic error
     # above the documented bound.
-    identical = all(r["identical"] for r in inc_rows + search_rows + cascade_rows)
+    identical = all(
+        r["identical"] for r in inc_rows + search_rows + cascade_rows + dominance_rows
+    )
     max_err = max((r["max_abs_prob_error"] for r in acc_rows), default=0.0)
     within_bound = max_err <= ANALYTIC_PROB_ERROR_BOUND
     note = f" ({', '.join(skipped)} section skipped)" if skipped else ""
@@ -616,6 +728,8 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_bench(args, out)
         if args.command == "lint":
             return _cmd_lint(args, out)
+        if args.command == "analyze":
+            return _cmd_analyze(args, out)
         if args.command == "calibrate":
             return _cmd_calibrate(out)
     except DecoError as exc:

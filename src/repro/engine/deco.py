@@ -16,7 +16,8 @@ from __future__ import annotations
 import time
 from collections import OrderedDict
 
-from repro.common.errors import InfeasibleError, ValidationError
+from repro.analysis.dominance import OpMask, compute_op_mask
+from repro.common.errors import InfeasibleError, ValidationError, WLogAnalysisError
 from repro.cloud.instance_types import Catalog
 from repro.engine.compiler import compile_or_raise
 from repro.faults.model import FaultModel
@@ -67,6 +68,15 @@ class Deco:
         ``False`` is the escape hatch (the CLI's
         ``--no-analytic-screen``).  Ignored when ``backend`` is already
         ``"analytic"``.
+    dominance_mask:
+        Enable the dominance analysis
+        (:func:`repro.analysis.dominance.compute_op_mask`): per-solve,
+        an op mask computed from the sample tensor's per-cell bounds
+        lets the search settle provably futile exploration promotes
+        with the parent's evaluation instead of full Monte Carlo.
+        Plans are identical either way (asserted by the property tests
+        and the solver bench); ``False`` is the escape hatch (the
+        CLI's ``--no-dominance-mask``).
 
     A Deco instance memoizes the compiled problem per workflow
     (deadline/percentile changes derive via
@@ -99,6 +109,7 @@ class Deco:
         reliability_percentile: float | None = None,
         incremental: bool = True,
         analytic_screen: bool = True,
+        dominance_mask: bool = True,
     ):
         self.catalog = catalog
         self.seed = int(seed)
@@ -109,6 +120,7 @@ class Deco:
         self.require_feasible = require_feasible
         self.incremental = bool(incremental)
         self.analytic_screen = bool(analytic_screen)
+        self.dominance_mask = bool(dominance_mask)
         #: The :class:`SearchResult` of the most recent solve -- counter
         #: introspection for benchmarks and services (not plan content).
         self.last_result: SearchResult | None = None
@@ -122,6 +134,9 @@ class Deco:
         # (id(workflow), region) -> (workflow, base CompiledProblem); the
         # stored workflow reference pins the id and guards against reuse.
         self._problems: OrderedDict[tuple, tuple[Workflow, CompiledProblem]] = OrderedDict()
+        # sample_token -> OpMask; deadline sweeps over one workflow share
+        # the tensor (and so the token), so the mask is computed once.
+        self._op_masks: OrderedDict[int | None, "OpMask"] = OrderedDict()
         self._search = GenericSearch(
             backend=self.backend,
             children_per_state=children_per_state,
@@ -156,6 +171,7 @@ class Deco:
             "reliability_percentile": self.reliability_percentile,
             "incremental": self.incremental,
             "analytic_screen": self.analytic_screen,
+            "dominance_mask": self.dominance_mask,
         }
 
     @classmethod
@@ -178,6 +194,7 @@ class Deco:
         self.cache.clear()
         self.eval_context.clear()
         self._problems.clear()
+        self._op_masks.clear()
         release = getattr(self.backend, "release_buffers", None)
         if release is not None:
             release()
@@ -300,6 +317,7 @@ class Deco:
         registry: ImportRegistry,
         region: str | None = None,
         strict: bool = False,
+        analyze: bool = True,
     ) -> ProvisioningPlan:
         """Solve a WLog scheduling program (the paper's Example 1 shape).
 
@@ -308,6 +326,16 @@ class Deco:
         unsafe negation...) raise
         :class:`~repro.common.errors.WLogAnalysisError` before any IR
         translation; ``strict=True`` rejects warnings too.
+
+        With ``analyze=True`` (the default) the semantic pass framework
+        (:func:`repro.analysis.analyze_semantics`) then runs interval
+        inference over the imported workflow/cloud *before* the
+        expensive IR translation: a provably unreachable deadline,
+        budget, or reliability requirement (E401-E403) is rejected in
+        milliseconds instead of after a full histogram materialization
+        and doomed solve.  ``strict=True`` rejects its W4xx warnings
+        (vacuous constraints, dead rules) too; ``analyze=False`` skips
+        the semantic gate entirely.
         """
         program = (
             WLogProgram.from_source(source_or_program)
@@ -316,6 +344,20 @@ class Deco:
         )
         program.validate_for_solving()
         check_program(program, registry=registry, strict=strict)
+        if analyze:
+            from repro.analysis import analyze_semantics
+            from repro.wlog.diagnostics import render_diagnostics
+
+            report = analyze_semantics(program, registry=registry)
+            fatal = [d for d in report.diagnostics if d.is_error or strict]
+            if fatal:
+                rendered = render_diagnostics(fatal, program.source or None, "<program>")
+                noun = "diagnostic" if len(fatal) == 1 else "diagnostics"
+                raise WLogAnalysisError(
+                    f"semantic analysis rejected the program with {len(fatal)} "
+                    f"{noun}:\n{rendered}",
+                    diagnostics=tuple(fatal),
+                )
         ir = translate(program, registry)
         problem = compile_or_raise(ir, num_samples=self.num_samples, seed=self.seed, region=region)
         return self._solve(problem, seeds=self._warm_starts(problem))
@@ -356,9 +398,29 @@ class Deco:
             states.append(problem.state_from_assignment(plan))
         return tuple(states)
 
+    def _op_mask(self, problem: CompiledProblem) -> OpMask | None:
+        """The memoized dominance mask for ``problem``'s tensor generation.
+
+        Keyed by ``sample_token``: deadline/percentile sweeps share the
+        tensor, so the per-cell bounds (a full tensor reduction) are
+        paid once per workflow compilation, not once per solve.
+        """
+        if not self.dominance_mask:
+            return None
+        token = getattr(problem, "sample_token", None)
+        mask = self._op_masks.get(token)
+        if mask is None:
+            mask = compute_op_mask(problem)
+            self._op_masks[token] = mask
+            while len(self._op_masks) > self._PROBLEM_CACHE_SIZE:
+                self._op_masks.popitem(last=False)
+        else:
+            self._op_masks.move_to_end(token)
+        return mask
+
     def _solve(self, problem: CompiledProblem, seeds: tuple[PlanState, ...] = ()) -> ProvisioningPlan:
         t0 = time.perf_counter()
-        result = self._search.solve(problem, seeds=seeds)
+        result = self._search.solve(problem, seeds=seeds, op_mask=self._op_mask(problem))
         elapsed = time.perf_counter() - t0
         self.last_result = result
         if self.require_feasible and not result.feasible_found:

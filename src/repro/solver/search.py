@@ -34,6 +34,7 @@ from typing import Callable, Hashable, Iterable
 import numpy as np
 from scipy.special import ndtr, ndtri
 
+from repro.analysis.dominance import OpMask, futile_offpath_promotes
 from repro.common.errors import SolverError
 from repro.solver.backends import CompiledProblem, EvaluationBackend, VectorizedBackend
 from repro.solver.state import PlanState, StateEval
@@ -97,7 +98,14 @@ class SearchResult:
     counterparts: candidates the moment-propagation tier evaluated,
     settled as clearly infeasible, or settled as clearly feasible --
     settled either way means no Monte Carlo was spent on them (zero
-    when the analytic screen is off or never activated).  The ``states_incremental`` / ``levels_skipped`` /
+    when the analytic screen is off or never activated).
+    ``pruned_candidates`` counts candidates whose tier-2 full-MC
+    evaluation the dominance
+    :class:`~repro.analysis.dominance.OpMask` replaced with the
+    parent's evaluation (their makespan samples are provably bitwise
+    the parent's); they consume budget and pass the screening tiers
+    like every other candidate, so the trajectory is identical with
+    the mask on or off.  The ``states_incremental`` / ``levels_skipped`` /
     ``levels_total`` / ``rows_recomputed`` / ``rows_total`` counters
     come from the backend's delta-propagation path (zero when the
     backend has no :class:`~repro.solver.cache.EvalContext`).
@@ -117,6 +125,7 @@ class SearchResult:
     analytic_evals: int = 0        # tier-0 analytic evaluations performed
     analytic_screened_out: int = 0  # candidates settled clearly infeasible (no MC)
     analytic_accepted: int = 0      # candidates settled clearly feasible (no MC)
+    pruned_candidates: int = 0      # candidates settled by the dominance mask
     states_incremental: int = 0  # states evaluated via delta propagation
     levels_skipped: int = 0      # level recomputations the delta path avoided
     levels_total: int = 0        # level recomputations a full pass would do
@@ -281,6 +290,7 @@ class GenericSearch:
         problem: CompiledProblem,
         initial: PlanState | None = None,
         seeds: Iterable[PlanState] = (),
+        op_mask: OpMask | None = None,
     ) -> SearchResult:
         """Search for the cheapest plan meeting the deadline constraint.
 
@@ -288,9 +298,27 @@ class GenericSearch:
         states of every type are evaluated as additional seeds, and
         callers may pass extra warm-start ``seeds`` (e.g. a heuristic
         baseline's plan, which the search then strictly improves).
+
+        ``op_mask`` (see :func:`repro.analysis.dominance.compute_op_mask`)
+        lets the dominance analysis settle provably futile exploration
+        promotes without full evaluation: a masked child inherits its
+        parent's feasibility/probability/mean makespan (provably
+        bitwise what full evaluation would return) with its own exact
+        Eq.-1 cost.  It consumes budget and passes the screening
+        tiers like every other candidate -- only the tier-2 full-MC
+        call is skipped -- so the returned plan is identical with the
+        mask on or off (asserted by the property tests and the solver
+        bench).
         """
         n = problem.num_tasks
         k = problem.num_types
+        if op_mask is not None and op_mask.sample_token != getattr(
+            problem, "sample_token", None
+        ):
+            # A mask is only exact for the tensor generation it was
+            # computed from (with_faults inflates the cells); a stale or
+            # support-bound mask silently degrades to no pruning.
+            op_mask = None
         start = initial or PlanState.uniform(n, 0)
         seed_states = [start] + [PlanState.uniform(n, t) for t in range(k)] + list(seeds)
         # Dedupe while preserving order.
@@ -315,6 +343,7 @@ class GenericSearch:
         analytic_evals = 0
         analytic_screened_out = 0
         analytic_accepted = 0
+        pruned_candidates = 0
         best_state, best_eval = None, None
         for st, ev in zip(frontier_states, evals):
             if ev.better_than(best_eval):
@@ -335,13 +364,19 @@ class GenericSearch:
 
             # Children of every expanded state, deduped against the
             # visited set, form one backend batch (block-per-state).
+            # ``inherited`` holds the parent evaluation of children the
+            # dominance mask settled (probability provably identical to
+            # the parent's); the exact cost is filled in below.
             children: list[PlanState] = []
+            inherited: dict[bytes, StateEval] = {}
             for state, ev in batch:
                 expansions += 1
-                for c in self._children(problem, state, ev, best_eval):
+                for c, dominated in self._children(problem, state, ev, best_eval, op_mask):
                     if c.key not in seen:
                         seen.add(c.key)
                         children.append(c)
+                        if dominated:
+                            inherited[c.key] = ev
             if not children:
                 continue
             budget = self.max_evaluations - evaluations
@@ -350,6 +385,14 @@ class GenericSearch:
             # later discards it -- keeping the budget trajectory (and so
             # the search decisions) identical with screening on or off.
             evaluations += len(children)
+
+            # Dominance-flagged children flow through tiers 0 and 1
+            # exactly like everyone else -- the screening batches (and
+            # so every screening decision) are byte-identical with the
+            # mask on or off -- and only skip the tier-2 full-MC call,
+            # where their inherited evaluation is provably what the
+            # backend would have returned.
+            settled: dict[bytes, StateEval] = {}
 
             # Tier 0: two-sided analytic classification (no sampling).
             # The gating logic mirrors the prefix screen below -- only
@@ -365,8 +408,7 @@ class GenericSearch:
             # incumbent/prune decisions the MC one would, and only the
             # frontier ordering *among clearly-infeasible states* (a
             # probability tie-break) rests on the analytic numbers.
-            survivors = children
-            settled: dict[bytes, StateEval] = {}
+            survivors = list(children)
             if dry_analytic < self._DRY_SCREEN_LIMIT and self._analytic_active(
                 problem, best_eval, len(survivors)
             ):
@@ -452,24 +494,47 @@ class GenericSearch:
                 else:
                     dry_screens += 1
 
-            # Pin the expanded parents' finish-time frontiers so tier 2
-            # evaluates the survivors through the delta-propagation
-            # path.  Only parents that still have an MC-bound child are
-            # pinned -- a frontier is a performance hint, not a
-            # correctness requirement, and pinning a parent whose whole
-            # brood tier 0 settled would be pure wasted propagation.
-            if survivors:
+            # Tier 2: full-fidelity evaluation -- except for survivors
+            # the dominance mask flagged, whose makespan samples are
+            # provably bitwise the parent's: they settle with the
+            # parent's probability/feasibility/mean makespan and their
+            # own exact Eq.-1 cost (the same function the backends
+            # use), bit-for-bit what ``evaluate_batch`` would return,
+            # at zero propagation cost.
+            to_eval = [c for c in survivors if c.key not in inherited]
+            dominated_states = [c for c in survivors if c.key in inherited]
+            if dominated_states:
+                pruned_candidates += len(dominated_states)
+                exact_costs = problem.expected_cost_batch(
+                    np.stack([c.assignment for c in dominated_states])
+                )
+                for c, cost in zip(dominated_states, exact_costs):
+                    pev = inherited[c.key]
+                    settled[c.key] = StateEval(
+                        cost=float(cost),
+                        probability=pev.probability,
+                        feasible=pev.feasible,
+                        mean_makespan=pev.mean_makespan,
+                        source=pev.source,
+                    )
+            if to_eval:
+                # Pin the expanded parents' finish-time frontiers so the
+                # full evaluation takes the delta-propagation path.
+                # Only parents that still have an MC-bound child are
+                # pinned -- a frontier is a performance hint, not a
+                # correctness requirement, and pinning a parent whose
+                # whole brood was settled above would be pure wasted
+                # propagation.
                 if self.incremental and hasattr(self.backend, "ensure_frontier"):
-                    needed = {c.parent_key for c in survivors}
+                    needed = {c.parent_key for c in to_eval}
                     for state, _ in batch:
                         if state.key in needed:
                             self.backend.ensure_frontier(problem, state)
 
-                # Tier 2: full-fidelity evaluation of the survivors.
-                child_evals = self.backend.evaluate_batch(problem, survivors)
-                exact_evals += len(survivors)
+                child_evals = self.backend.evaluate_batch(problem, to_eval)
+                exact_evals += len(to_eval)
                 settled.update(
-                    (cst.key, cev) for cst, cev in zip(survivors, child_evals)
+                    (cst.key, cev) for cst, cev in zip(to_eval, child_evals)
                 )
             if not settled:
                 continue
@@ -518,6 +583,7 @@ class GenericSearch:
             analytic_evals=analytic_evals,
             analytic_screened_out=analytic_screened_out,
             analytic_accepted=analytic_accepted,
+            pruned_candidates=pruned_candidates,
             states_incremental=delta1.get("states_incremental", 0)
             - delta0.get("states_incremental", 0),
             levels_skipped=delta1.get("levels_skipped", 0)
@@ -607,13 +673,24 @@ class GenericSearch:
         state: PlanState,
         ev: StateEval,
         best: StateEval | None,
-    ) -> list[PlanState]:
+        op_mask: OpMask | None = None,
+    ) -> list[tuple[PlanState, bool]]:
         """Transformation children: Promote when infeasible, Demote when feasible.
 
         Promote targets the tasks dominating the (mean-time) critical
         path under the current assignment; Demote targets off-path tasks
         with the largest cost saving.  Both directions are generated for
         feasible states so the search can trade off around the incumbent.
+
+        Each child is returned with a *dominated* flag: ``True`` means
+        the dominance mask proved the child's makespan samples are
+        bitwise the parent's (only off-path exploration promotes
+        qualify -- see
+        :func:`repro.analysis.dominance.futile_offpath_promotes`), so
+        the caller may settle it with the parent's evaluation.  The
+        flag requires an exact (``"mc"``) parent evaluation: inheriting
+        from an analytically settled parent would propagate tier-0
+        approximations into numbers the mask promises to be exact.
         """
         n = problem.num_tasks
         idx = np.arange(n)
@@ -621,7 +698,7 @@ class GenericSearch:
         cp_idx = _critical_indices(problem.parent_indices, mean_now)
         cp_set = set(cp_idx)
 
-        children: list[PlanState] = []
+        children: list[tuple[PlanState, bool]] = []
 
         if not ev.feasible:
             # Promote critical tasks, largest time first.
@@ -629,14 +706,24 @@ class GenericSearch:
             for i in order[: self.children_per_state]:
                 child = state.promote(i, problem.num_types)
                 if child is not None:
-                    children.append(child)
+                    children.append((child, False))
             # A couple of off-path promotes for exploration (the
             # per-sample critical path can differ from the mean one).
+            futile = None
+            if (
+                op_mask is not None
+                and ev.source == "mc"
+                and op_mask.allows("promote")
+                and problem.num_types > 1
+            ):
+                futile = futile_offpath_promotes(
+                    op_mask, problem.parent_indices, state.assignment
+                )
             off = sorted((i for i in range(n) if i not in cp_set), key=lambda i: -mean_now[i])
             for i in off[: max(2, self.children_per_state // 4)]:
                 child = state.promote(i, problem.num_types)
                 if child is not None:
-                    children.append(child)
+                    children.append((child, futile is not None and bool(futile[i])))
             return children
 
         # Feasible: demote to cut cost; off-path tasks have slack.
@@ -659,13 +746,13 @@ class GenericSearch:
         for i in off_order[:half] + on_order[:half]:
             child = state.demote(i)
             if child is not None:
-                children.append(child)
+                children.append((child, False))
         # Keep one promote direction alive for robustness near the boundary.
         if cp_idx:
             i = max(cp_idx, key=lambda j: mean_now[j])
             child = state.promote(i, problem.num_types)
             if child is not None and (best is None or not best.feasible):
-                children.append(child)
+                children.append((child, False))
         return children
 
 

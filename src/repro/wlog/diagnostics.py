@@ -23,10 +23,12 @@ __all__ = [
     "Span",
     "Diagnostic",
     "CHECKS",
+    "CHECK_EXAMPLES",
     "ERROR",
     "WARNING",
     "render_diagnostic",
     "render_diagnostics",
+    "checks_markdown",
 ]
 
 ERROR = "error"
@@ -53,7 +55,84 @@ CHECKS: dict[str, tuple[str, str, str]] = {
     "W305": ("builtin-shadow", WARNING, "a rule defines a built-in predicate and will never be selected"),
     "W306": ("suspicious-percentile", WARNING, "a requirement level <= 1 looks like a fraction, not a percent"),
     "W307": ("misspelled-directive", WARNING, "a fact looks like a misspelled import/enabled directive"),
+    # E4xx/W4xx come from the semantic passes in :mod:`repro.analysis`
+    # (abstract interpretation over the compiled constraint IR), not from
+    # the syntactic analyzer above.
+    "E401": ("deadline-unreachable", ERROR, "the best-case makespan already exceeds the deadline bound"),
+    "E402": ("budget-unreachable", ERROR, "the cheapest possible plan already exceeds the budget bound"),
+    "E403": ("reliability-unreachable", ERROR, "the declared fault model cannot reach the required success probability"),
+    "W401": ("vacuous-deadline", WARNING, "the worst-case makespan meets the deadline: the constraint never binds"),
+    "W402": ("vacuous-budget", WARNING, "the costliest possible plan fits the budget: the constraint never binds"),
+    "W403": ("constant-condition", WARNING, "a ground body condition is statically decidable (fold it away)"),
+    "W404": ("dead-rule", WARNING, "a rule body contains a statically false condition: the rule can never fire"),
+    "W405": ("pragma-shadowed-fact", WARNING, "an in-source fact duplicates a family declared via a lint-assume pragma"),
 }
+
+#: One minimal WLog excerpt per check, for ``repro lint --explain`` and
+#: the generated ``docs/checks.md`` catalog.  Illustrative, not executed:
+#: the E4xx/W4xx examples assume the imports resolve against a registry.
+CHECK_EXAMPLES: dict[str, str] = {
+    "E101": "goal minimize Ct in totalcost(Ct",
+    "E201": "totalcost(C) :- sumcosts(C).",
+    "E202": "cost(T, C) :- exetime(T, C).",
+    "E203": "cons T in maxtime(P, T) satisfies deadline(200%, 36000.0).",
+    "E204": "import(Cloud).",
+    "E205": "late(T) :- T > Limit.",
+    "E206": "ok :- \\+ bad(X).",
+    "E207": "p(X) :- \\+ q(X).\nq(X) :- p(X).",
+    "E208": "goal minimize C in totalcost(C).\ngoal minimize T in maxtime(P, T).",
+    "E209": "goal minimize Ct in totalcost(C).",
+    "E210": "import(amazone2c).",
+    "E211": "cons P in successprob(P) satisfies reliability(99%, 3).",
+    "W301": "cost(Tid, C) :- price(Vid, C).",
+    "W302": "enabled(astart).",
+    "W303": "p(X) :- q(X).\np(Y) :- q(Y).",
+    "W304": "helper(X) :- task(X).",
+    "W305": "sum(L, S) :- mysum(L, S).",
+    "W306": "cons T in maxtime(P, T) satisfies deadline(0.95%, 36000.0).",
+    "W307": "imprt(amazonec2).",
+    "E401": "cons T in maxtime(P, T) satisfies deadline(96%, 5.0).",
+    "E402": "cons C in totalcost(C) satisfies budget(100%, 0.0001).",
+    "E403": "fault_model(0.9, 60.0).\ncons P in successprob(P) satisfies reliability(99%, 0).",
+    "W401": "cons T in maxtime(P, T) satisfies deadline(96%, 900000000.0).",
+    "W402": "cons C in totalcost(C) satisfies budget(100%, 50000.0).",
+    "W403": "fast :- 1 < 2, speedy.",
+    "W404": "never :- 2 < 1, task(T).",
+    "W405": "/* lint: assume wscore/2 */\nwscore(w1, 0.5).",
+}
+
+
+def checks_markdown() -> str:
+    """The check catalog as a markdown document (``docs/checks.md``).
+
+    Generated from :data:`CHECKS` and :data:`CHECK_EXAMPLES` so the
+    documentation can never drift from the registry: a test fails when a
+    check is added without an example, and ``repro lint --explain``
+    prints exactly this text.
+    """
+    lines = [
+        "# WLog check catalog",
+        "",
+        "Generated from `repro.wlog.diagnostics.CHECKS` by",
+        "`repro lint --explain`; do not edit by hand.",
+        "",
+        "E1xx/E2xx/W3xx come from the syntactic analyzer",
+        "(`repro lint`); E4xx/W4xx come from the semantic passes over the",
+        "compiled constraint IR (`repro analyze`).",
+        "",
+    ]
+    for code, (name, severity, description) in CHECKS.items():
+        lines.append(f"## {code} `{name}` ({severity})")
+        lines.append("")
+        lines.append(f"{description[0].upper()}{description[1:]}.")
+        example = CHECK_EXAMPLES.get(code)
+        if example is not None:
+            lines.append("")
+            lines.append("```prolog")
+            lines.extend(example.splitlines())
+            lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)

@@ -127,6 +127,19 @@ class ImportRegistry:
         """Every registered import name (workflows and clouds)."""
         return tuple(sorted((*self._workflows, *self._clouds)))
 
+    def workflow(self, name: str) -> Workflow | None:
+        """The registered workflow behind ``import(name)``, if any.
+
+        The semantic passes in :mod:`repro.analysis` resolve imports
+        straight off the registry -- bound inference must not pay the
+        histogram materialization that :meth:`materialize` performs.
+        """
+        return self._workflows.get(name)
+
+    def cloud(self, name: str) -> tuple[Catalog, str | None] | None:
+        """The registered ``(catalog, region)`` behind ``import(name)``."""
+        return self._clouds.get(name)
+
     def fact_indicators(self, imports: tuple[str, ...]) -> set[tuple[str, int]]:
         """The fact families ``imports`` would materialize.
 

@@ -1,0 +1,32 @@
+"""Shared fixtures for the semantic-analysis tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.wlog.imports import ImportRegistry
+from repro.wlog.library import scheduling_program
+from repro.workflow.generators import montage
+
+
+@pytest.fixture(scope="session")
+def small_workflow():
+    return montage(degrees=1.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def registry(catalog, small_workflow):
+    reg = ImportRegistry()
+    reg.register_cloud("amazonec2", catalog)
+    reg.register_workflow("montage", small_workflow)
+    return reg
+
+
+def program_source(deadline_seconds: float = 36_000.0, percentile: float = 95.0) -> str:
+    """The paper's Example 1 with a configurable deadline."""
+    return scheduling_program(
+        cloud="amazonec2",
+        workflow="montage",
+        percentile=percentile,
+        deadline_seconds=deadline_seconds,
+    )

@@ -1,0 +1,29 @@
+"""docs/checks.md is generated -- fail when it drifts from the registry."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.wlog.diagnostics import CHECK_EXAMPLES, CHECKS, checks_markdown
+
+DOC = Path(__file__).resolve().parents[2] / "docs" / "checks.md"
+
+
+def test_doc_matches_generator():
+    assert DOC.read_text() == checks_markdown(), (
+        "docs/checks.md is stale; regenerate with "
+        "`python -m repro lint --explain > docs/checks.md`"
+    )
+
+
+def test_every_check_is_documented():
+    text = checks_markdown()
+    for code, (name, severity, description) in CHECKS.items():
+        assert f"## {code} `{name}` ({severity})" in text
+        # The doc capitalizes the first letter; compare the tail.
+        assert description[1:] in text
+
+
+def test_every_check_has_an_example():
+    missing = sorted(set(CHECKS) - set(CHECK_EXAMPLES))
+    assert not missing, f"checks without a CHECK_EXAMPLES entry: {missing}"

@@ -1,0 +1,128 @@
+"""Tests for the pass manager and the analyze_semantics driver."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.analysis import analyze_semantics, default_passes
+from repro.analysis.domain import Interval
+from repro.analysis.passes import AnalysisContext, AnalysisPass, PassManager
+from repro.common.errors import ValidationError
+from repro.wlog.program import WLogProgram
+
+from tests.analysis.conftest import program_source
+
+
+class TestAnalysisContext:
+    def test_put_is_write_once(self):
+        ctx = AnalysisContext(program=WLogProgram.from_source("goal minimize C in c(C)."))
+        ctx.put("k", 1)
+        with pytest.raises(ValidationError):
+            ctx.put("k", 2)
+
+    def test_emit_defaults_severity_from_catalog(self):
+        ctx = AnalysisContext(program=WLogProgram.from_source("goal minimize C in c(C)."))
+        ctx.emit("E401", "boom")
+        ctx.emit("W404", "meh")
+        assert [d.severity for d in ctx.diagnostics] == ["error", "warning"]
+
+
+class _Writer(AnalysisPass):
+    name = "writer"
+    provides = ("a",)
+
+    def run(self, ctx):
+        if "a" in ctx.facts:
+            return False
+        ctx.put("a", 1)
+        return True
+
+
+class _Reader(AnalysisPass):
+    name = "reader"
+    requires = ("a",)
+    provides = ("b",)
+
+    def run(self, ctx):
+        if "b" in ctx.facts:
+            return False
+        ctx.put("b", ctx.facts["a"])
+        return True
+
+
+class TestPassManager:
+    def test_fixpoint_orders_by_requirements(self):
+        # Reader listed first still runs -- the fixpoint re-offers it
+        # once writer has published "a".
+        ctx = AnalysisContext(program=WLogProgram.from_source("goal minimize C in c(C)."))
+        ran, iterations = PassManager([_Reader(), _Writer()]).run(ctx)
+        assert set(ran) == {"writer", "reader"}
+        assert ctx.facts == {"a": 1, "b": 1}
+        assert 2 <= iterations <= 3
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValidationError):
+            PassManager([_Writer(), _Writer()])
+
+    def test_iteration_cap_bounds_buggy_passes(self):
+        class Restless(AnalysisPass):
+            name = "restless"
+
+            def run(self, ctx):
+                return True  # never converges
+
+        ctx = AnalysisContext(program=WLogProgram.from_source("goal minimize C in c(C)."))
+        _, iterations = PassManager([Restless()], max_iterations=3).run(ctx)
+        assert iterations == 3
+
+
+class TestAnalyzeSemantics:
+    def test_clean_program_has_facts_and_no_findings(self, registry):
+        report = analyze_semantics(program_source(), registry=registry)
+        assert report.diagnostics == ()
+        assert isinstance(report.facts["makespan_interval"], Interval)
+        assert isinstance(report.facts["cost_interval"], Interval)
+        assert report.op_mask is not None
+        assert "bounds" in report.passes_run and "dominance" in report.passes_run
+
+    def test_infeasible_deadline_is_e401(self, registry):
+        report = analyze_semantics(program_source(deadline_seconds=5.0), registry=registry)
+        assert [d.check for d in report.errors] == ["E401"]
+        assert "provably unreachable" in report.errors[0].message
+        assert report.errors[0].span is not None  # anchored at the cons directive
+
+    def test_vacuous_deadline_is_w401(self, registry):
+        report = analyze_semantics(program_source(deadline_seconds=1e12), registry=registry)
+        assert [d.check for d in report.warnings] == ["W401"]
+
+    def test_no_registry_still_runs_syntax_level_passes(self):
+        # Without a registry nothing semantic can be bounded, but the
+        # dead-code family still runs and the driver does not crash.
+        report = analyze_semantics(program_source())
+        assert report.diagnostics == ()
+        assert "makespan_interval" not in report.facts
+
+    def test_gate_budget_under_50ms(self, registry):
+        source = program_source(deadline_seconds=5.0)
+        analyze_semantics(source, registry=registry)  # warm imports
+        t0 = time.perf_counter()
+        report = analyze_semantics(source, registry=registry)
+        elapsed_ms = (time.perf_counter() - t0) * 1e3
+        assert report.errors
+        assert elapsed_ms < 50.0, f"semantic gate took {elapsed_ms:.1f} ms"
+
+    def test_custom_pass_list(self, registry):
+        report = analyze_semantics(program_source(), registry=registry, passes=[_Writer()])
+        assert report.facts == {"a": 1}
+
+    def test_default_pipeline_shape(self):
+        names = [p.name for p in default_passes()]
+        assert names == [
+            "constant-condition",
+            "dead-rule",
+            "shadowed-fact",
+            "bounds",
+            "dominance",
+        ]

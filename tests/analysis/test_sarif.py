@@ -1,0 +1,64 @@
+"""Tests for the SARIF 2.1.0 emitter shared by lint and analyze."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.sarif import SARIF_SCHEMA, SARIF_VERSION, to_sarif
+from repro.wlog.diagnostics import CHECKS, Diagnostic, Span
+
+
+def _findings():
+    return [
+        ("a.wlog", Diagnostic("E401", "error", "deadline unreachable",
+                              Span(4, 1, 4, 50))),
+        ("a.wlog", Diagnostic("W403", "warning", "constant condition",
+                              Span(7, 10))),
+        ("b.wlog", Diagnostic("E401", "error", "also unreachable")),
+    ]
+
+
+class TestToSarif:
+    def test_envelope(self):
+        log = to_sarif(_findings())
+        assert log["version"] == SARIF_VERSION == "2.1.0"
+        assert log["$schema"] == SARIF_SCHEMA
+        assert len(log["runs"]) == 1
+        driver = log["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-wlog"
+
+    def test_rules_cover_only_referenced_checks(self):
+        driver = to_sarif(_findings())["runs"][0]["tool"]["driver"]
+        assert [r["id"] for r in driver["rules"]] == ["E401", "W403"]
+        e401 = driver["rules"][0]
+        assert e401["name"] == CHECKS["E401"][0]
+        assert e401["defaultConfiguration"]["level"] == "error"
+
+    def test_rule_index_points_into_rule_table(self):
+        log = to_sarif(_findings())
+        rules = log["runs"][0]["tool"]["driver"]["rules"]
+        for result in log["runs"][0]["results"]:
+            assert rules[result["ruleIndex"]]["id"] == result["ruleId"]
+
+    def test_result_regions(self):
+        results = to_sarif(_findings())["runs"][0]["results"]
+        full = results[0]["locations"][0]["physicalLocation"]
+        assert full["artifactLocation"]["uri"] == "a.wlog"
+        assert full["region"] == {
+            "startLine": 4, "startColumn": 1, "endLine": 4, "endColumn": 50,
+        }
+        # A span without an end keeps only the start; no span, no region.
+        assert to_sarif(_findings())["runs"][0]["results"][1][
+            "locations"][0]["physicalLocation"]["region"] == {
+            "startLine": 7, "startColumn": 10,
+        }
+        assert "region" not in results[2]["locations"][0]["physicalLocation"]
+
+    def test_empty_findings(self):
+        log = to_sarif([])
+        assert log["runs"][0]["results"] == []
+        assert log["runs"][0]["tool"]["driver"]["rules"] == []
+
+    def test_json_serializable(self):
+        text = json.dumps(to_sarif(_findings()))
+        assert json.loads(text)["version"] == "2.1.0"

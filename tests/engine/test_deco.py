@@ -163,3 +163,81 @@ class TestStaticAnalysisGate:
             scheduling_program(percentile=96, deadline_seconds=d), reg, strict=True
         )
         assert plan.feasible
+
+
+class TestSemanticGate:
+    """solve_program's interval gate rejects doomed programs pre-translation."""
+
+    def _registry(self, catalog, deco, wf):
+        reg = ImportRegistry(deco.runtime_model)
+        reg.register_cloud("amazonec2", catalog)
+        reg.register_workflow("montage", wf)
+        return reg
+
+    def test_unreachable_deadline_rejected_before_solve(self, catalog, deco, wf):
+        import time
+
+        from repro.common.errors import WLogAnalysisError
+
+        reg = self._registry(catalog, deco, wf)
+        src = scheduling_program(percentile=95, deadline_seconds=60.0)
+        deco.solve_program  # touch nothing; warm imports happen below
+        with pytest.raises(WLogAnalysisError) as info:
+            deco.solve_program(src, reg)
+        assert any(d.check == "E401" for d in info.value.diagnostics)
+        # Warm, the whole gate is milliseconds -- far under the solve it skips.
+        t0 = time.perf_counter()
+        with pytest.raises(WLogAnalysisError):
+            deco.solve_program(src, reg)
+        assert (time.perf_counter() - t0) < 0.5
+
+    def test_strict_rejects_vacuous_deadline(self, catalog, deco, wf):
+        from repro.common.errors import WLogAnalysisError
+
+        reg = self._registry(catalog, deco, wf)
+        src = scheduling_program(percentile=95, deadline_seconds=1e12)
+        with pytest.raises(WLogAnalysisError) as info:
+            deco.solve_program(src, reg, strict=True)
+        assert any(d.check == "W401" for d in info.value.diagnostics)
+
+    def test_analyze_false_skips_gate(self, catalog, deco, wf):
+        reg = self._registry(catalog, deco, wf)
+        src = scheduling_program(percentile=95, deadline_seconds=60.0)
+        plan = deco.solve_program(src, reg, analyze=False)
+        assert not plan.feasible  # reached the solver; no static rejection
+
+
+class TestDominanceMask:
+    def test_spec_roundtrip_includes_flag(self, catalog):
+        on = Deco(catalog)
+        off = Deco(catalog, dominance_mask=False)
+        assert on.spec()["dominance_mask"] is True
+        assert off.spec()["dominance_mask"] is False
+
+    def test_disabled_mask_never_prunes(self, catalog):
+        from repro.workflow.generators import ligo
+
+        wf = ligo(num_tasks=60, seed=0)
+        off = Deco(catalog, seed=0, num_samples=64, max_evaluations=400,
+                   incremental=False, dominance_mask=False)
+        off.schedule(wf, "medium", deadline_percentile=90.0)
+        assert off.last_result.pruned_candidates == 0
+
+        on = Deco(catalog, seed=0, num_samples=64, max_evaluations=400,
+                  incremental=False)
+        on.schedule(wf, "medium", deadline_percentile=90.0)
+        assert on.last_result.pruned_candidates > 0
+
+    def test_mask_memoized_across_deadline_sweep(self, catalog, wf):
+        deco = Deco(catalog, seed=0, num_samples=64, max_evaluations=100)
+        deco.schedule(wf, "tight")
+        deco.schedule(wf, "loose")
+        # Same compiled tensor generation -> one mask for the whole sweep.
+        assert len(deco._op_masks) == 1
+
+    def test_clear_caches_drops_masks(self, catalog, wf):
+        deco = Deco(catalog, seed=0, num_samples=64, max_evaluations=100)
+        deco.schedule(wf, "medium")
+        assert len(deco._op_masks) == 1
+        deco.clear_caches()
+        assert len(deco._op_masks) == 0

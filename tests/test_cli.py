@@ -199,7 +199,7 @@ class TestLint:
 
         examples_dir = pathlib.Path(__file__).resolve().parent.parent / "examples"
         examples = sorted(str(p) for p in examples_dir.glob("*.wlog"))
-        assert len(examples) == 4
+        assert len(examples) == 5
         code, text = run_cli(["lint", *examples])
         assert code == 0
         assert "0 error(s), 0 warning(s)" in text
@@ -417,3 +417,71 @@ class TestBackendFlags:
         )
         assert code == 0
         assert "feasible:        True" in text
+
+
+class TestAnalyze:
+    def test_infeasible_example_rejected(self):
+        import pathlib
+
+        example = pathlib.Path(__file__).parents[1] / "examples" / "infeasible_deadline.wlog"
+        code, text = run_cli(["analyze", str(example)])
+        assert code == 1
+        assert "E401" in text and "deadline-unreachable" in text
+        assert "1 error(s)" in text
+
+    def test_clean_example_passes(self):
+        import pathlib
+
+        example = pathlib.Path(__file__).parents[1] / "examples" / "example1_scheduling.wlog"
+        code, text = run_cli(["analyze", str(example)])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_bundled_programs_clean(self):
+        code, text = run_cli(["analyze", "--bundled"])
+        assert code == 0
+        assert "0 error(s), 0 warning(s)" in text
+
+    def test_sarif_output(self):
+        import json
+        import pathlib
+
+        example = pathlib.Path(__file__).parents[1] / "examples" / "infeasible_deadline.wlog"
+        code, text = run_cli(["analyze", "--format", "sarif", str(example)])
+        assert code == 1
+        log = json.loads(text)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["tool"]["driver"]["name"] == "repro-wlog"
+        assert [r["ruleId"] for r in log["runs"][0]["results"]] == ["E401"]
+
+    def test_syntax_error_reported_without_crash(self, tmp_path):
+        prog = tmp_path / "broken.wlog"
+        prog.write_text("goal minimize C in totalcost(C")
+        code, text = run_cli(["analyze", str(prog)])
+        assert code == 1
+        assert "E101" in text
+
+    def test_missing_file(self):
+        code, text = run_cli(["analyze", "/no/such/prog.wlog"])
+        assert code == 2
+        assert "no such file" in text
+
+
+class TestLintSarifAndExplain:
+    def test_lint_sarif_shares_emitter(self, tmp_path):
+        import json
+
+        prog = tmp_path / "bad.wlog"
+        prog.write_text("goal minimize C in totalcst(C).\n")
+        code, text = run_cli(["lint", "--format", "sarif", str(prog)])
+        assert code == 1
+        log = json.loads(text)
+        assert log["version"] == "2.1.0"
+        assert any(r["ruleId"] == "E201" for r in log["runs"][0]["results"])
+
+    def test_lint_explain_prints_catalog(self):
+        from repro.wlog.diagnostics import checks_markdown
+
+        code, text = run_cli(["lint", "--explain"])
+        assert code == 0
+        assert text == checks_markdown()
