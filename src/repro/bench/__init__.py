@@ -33,6 +33,7 @@ from repro.bench.perf import (
     analytic_accuracy,
     cascade_search,
     dominance_search,
+    distributed_search,
     optimization_overhead,
     write_bench_solver_json,
 )
@@ -70,6 +71,7 @@ __all__ = [
     "analytic_accuracy",
     "cascade_search",
     "dominance_search",
+    "distributed_search",
     "optimization_overhead",
     "write_bench_solver_json",
     "bench_faults",

@@ -27,6 +27,12 @@
   for byte, with the ``pruned_candidates`` counter showing how many
   full evaluations the mask proved away.
 
+* :func:`distributed_search` -- the distributed beam solve's
+  end-to-end comparison: one Deco solve per worker count, byte-identical
+  decision dicts asserted (the ``distributed.identical`` CI gate),
+  wall-clock speedup/efficiency and speculation/shard-cache counters
+  reported per width.
+
 * :func:`optimization_overhead` -- the paper's end-to-end figure of
   merit: 4.3-63.17 ms of optimization time per task for 20-1000-task
   workflows.  Rows carry the makespan-cache hit/miss counters of the
@@ -64,6 +70,7 @@ __all__ = [
     "analytic_accuracy",
     "cascade_search",
     "dominance_search",
+    "distributed_search",
     "optimization_overhead",
     "write_bench_solver_json",
 ]
@@ -576,6 +583,81 @@ def dominance_search(
     return rows
 
 
+def distributed_search(
+    config: BenchConfig | None = None,
+    worker_counts: tuple[int, ...] = (1, 2, 4),
+    degrees: tuple[float, ...] = (4.0,),
+    repeats: int = 2,
+) -> list[dict]:
+    """End-to-end solve: sharded beam evaluation, same plan at any width.
+
+    One :meth:`Deco.schedule` per (workflow, worker count): the
+    ``workers=1`` row is the serial reference; wider rows shard each
+    beam iteration's candidate batch across that many persistent worker
+    processes (DESIGN.md §13) and must produce a byte-identical
+    decision dict -- ``identical`` is the regression gate, speedup is
+    the prize.  ``efficiency`` is speedup per worker; on a single-core
+    host (see the payload's ``host_cpu_count``) expect efficiency well
+    below 1 -- the workers time-share one CPU and the row documents the
+    honest overhead, while the identity gate still binds.
+
+    Timing is best-of-``repeats`` with a fresh engine per solve (cold
+    caches, pool spawn included -- the cost a first-time caller pays);
+    counters come from one extra measured solve per width.
+    ``speculation_hit_rate`` is the fraction of the parent's
+    speculative child expansions the next iteration actually consumed;
+    ``cache_hit_rate`` aggregates the shard-resident makespan caches.
+    """
+    config = config or BenchConfig()
+    rows = []
+    for deg in degrees:
+        wf = montage(degrees=deg, seed=config.seed)
+        reference = None
+        t_serial = None
+        for workers in worker_counts:
+            def solve_once():
+                with config.deco(workers=workers) as deco:
+                    return deco.schedule(
+                        wf, "medium", deadline_percentile=config.deadline_percentile
+                    )
+
+            deco = config.deco(workers=workers)
+            plan = deco.schedule(
+                wf, "medium", deadline_percentile=config.deadline_percentile
+            )
+            result = deco.last_result
+            deco.close()
+            assert result is not None
+            t_solve = _best_of(solve_once, repeats)
+            if reference is None:
+                reference = plan.decision_dict()
+                t_serial = t_solve
+            hits, misses = result.cache_hits, result.cache_misses
+            rows.append(
+                {
+                    "workflow": wf.name,
+                    "tasks": len(wf),
+                    "workers": workers,
+                    "solve_s": t_solve,
+                    "speedup": t_serial / t_solve,
+                    "efficiency": t_serial / t_solve / workers,
+                    "identical": plan.decision_dict() == reference,
+                    "evaluations": result.evaluations,
+                    "speculated": result.speculated,
+                    "speculation_hits": result.speculation_hits,
+                    "speculation_hit_rate": (
+                        result.speculation_hits / result.speculated
+                        if result.speculated
+                        else 0.0
+                    ),
+                    "cache_hits": hits,
+                    "cache_misses": misses,
+                    "cache_hit_rate": hits / (hits + misses) if hits + misses else 0.0,
+                }
+            )
+    return rows
+
+
 def optimization_overhead(
     config: BenchConfig | None = None,
     sizes: tuple[int, ...] = (20, 100, 1000),
@@ -633,6 +715,7 @@ def write_bench_solver_json(
     analytic_accuracy_rows: list[dict] | None = None,
     cascade_rows: list[dict] | None = None,
     dominance_rows: list[dict] | None = None,
+    distributed_rows: list[dict] | None = None,
 ) -> dict:
     """Write the machine-readable solver benchmark (``BENCH_solver.json``).
 
@@ -683,6 +766,15 @@ def write_bench_solver_json(
         "optimization_overhead": (
             overhead_rows if overhead_rows is not None else optimization_overhead(config)
         ),
+    }
+    dist_rows = (
+        distributed_rows if distributed_rows is not None else distributed_search(config)
+    )
+    payload["distributed"] = {
+        # The regression gate: sharding may never change which plan
+        # wins, at any worker count (CI fails the bench otherwise).
+        "identical": all(r["identical"] for r in dist_rows),
+        "search": dist_rows,
     }
     Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
     return payload

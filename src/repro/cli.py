@@ -356,7 +356,8 @@ def _cmd_schedule(args, out) -> int:
                 backend=args.backend,
                 incremental=not args.no_incremental,
                 analytic_screen=not args.no_analytic_screen,
-                dominance_mask=not args.no_dominance_mask)
+                dominance_mask=not args.no_dominance_mask,
+                workers=workers)
     try:
         deadline: float | str = float(args.deadline)
     except ValueError:
@@ -365,16 +366,24 @@ def _cmd_schedule(args, out) -> int:
             return _usage_error(
                 out, f"--deadline must be tight|medium|loose or seconds, got {deadline!r}"
             )
-    plan = deco.schedule(
-        workflow,
-        deadline,
-        deadline_percentile=args.percentile,
-        faults=faults,
-        recovery=recovery,
-    )
+    try:
+        plan = deco.schedule(
+            workflow,
+            deadline,
+            deadline_percentile=args.percentile,
+            faults=faults,
+            recovery=recovery,
+        )
+    finally:
+        deco.close()
 
     print(f"workflow:        {workflow.name} ({len(workflow)} tasks)", file=out)
     print(f"backend:         {deco.backend.name}", file=out)
+    if deco.workers > 1:
+        result = deco.last_result
+        print(f"workers:         {deco.workers} beam shards "
+              f"({result.speculated} speculative expansions, "
+              f"{result.speculation_hits} consumed)", file=out)
     if faults is not None:
         print(f"fault model:     {faults.describe()}", file=out)
     print(f"deadline:        {plan.deadline:.0f} s @ {plan.deadline_percentile:.1f}%", file=out)
@@ -614,6 +623,7 @@ def _cmd_bench(args, out) -> int:
         analytic_accuracy,
         analytic_speedup,
         cascade_search,
+        distributed_search,
         dominance_search,
         incremental_search,
         incremental_speedup,
@@ -657,6 +667,14 @@ def _cmd_bench(args, out) -> int:
         skipped.append("dominance")
     else:
         dominance_rows = dominance_search(config, backend=args.backend)
+    # Distributed beam solve: an explicit --workers N measures the
+    # (1, N) pair -- how CI pins its quick profile -- while the default
+    # sweeps the standard widths.
+    if workers is not None:
+        counts = (1,) if workers == 1 else (1, workers)
+    else:
+        counts = (1, 2, 4)
+    distributed_rows = distributed_search(config, worker_counts=counts)
     payload = write_bench_solver_json(
         path,
         config,
@@ -666,6 +684,7 @@ def _cmd_bench(args, out) -> int:
         analytic_accuracy_rows=acc_rows,
         cascade_rows=cascade_rows,
         dominance_rows=dominance_rows,
+        distributed_rows=distributed_rows,
     )
     print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
     if inc_rows:
@@ -686,11 +705,16 @@ def _cmd_bench(args, out) -> int:
         print(format_table(cascade_rows, "Screening cascade: tier 0 on vs off"), file=out)
     if dominance_rows:
         print(format_table(dominance_rows, "Dominance mask: on vs off"), file=out)
+    print(
+        format_table(distributed_rows, "Distributed beam solve: per worker count"),
+        file=out,
+    )
     # Neither optimization may ever change a decision: fail the bench
     # (exit 1) on any plan/sample divergence, or on an analytic error
     # above the documented bound.
     identical = all(
-        r["identical"] for r in inc_rows + search_rows + cascade_rows + dominance_rows
+        r["identical"]
+        for r in inc_rows + search_rows + cascade_rows + dominance_rows + distributed_rows
     )
     max_err = max((r["max_abs_prob_error"] for r in acc_rows), default=0.0)
     within_bound = max_err <= ANALYTIC_PROB_ERROR_BOUND

@@ -77,6 +77,18 @@ class Deco:
         Plans are identical either way (asserted by the property tests
         and the solver bench); ``False`` is the escape hatch (the
         CLI's ``--no-dominance-mask``).
+    workers:
+        Shard the beam search's candidate evaluation across this many
+        persistent worker processes (the distributed beam solve,
+        DESIGN.md §13).  ``None`` or ``1`` keeps the solve in-process.
+        Each shard holds a worker-resident engine rebuilt once from
+        :meth:`spec` whose caches stay warm across beam iterations;
+        plans are bit-identical at any worker count (asserted by the
+        shard test matrix and the solver bench's
+        ``distributed.identical`` gate).  Environments that cannot run
+        process pools downgrade to in-process evaluation with one
+        warning; call :meth:`close` (or use the engine as a context
+        manager) to release the worker processes.
 
     A Deco instance memoizes the compiled problem per workflow
     (deadline/percentile changes derive via
@@ -110,6 +122,7 @@ class Deco:
         incremental: bool = True,
         analytic_screen: bool = True,
         dominance_mask: bool = True,
+        workers: int | None = None,
     ):
         self.catalog = catalog
         self.seed = int(seed)
@@ -146,6 +159,17 @@ class Deco:
             incremental=self.incremental,
             analytic_screen=self.analytic_screen,
         )
+        # Distributed beam solve: a lazily created shard-affine pool
+        # (one resident engine per shard), a monotone per-solve id that
+        # stamps every shard job, and the lifetime aggregate of the
+        # worker-side cache/delta counters (cache_stats "distributed").
+        from repro.parallel.executor import resolve_workers
+
+        self.workers = 1 if workers is None else resolve_workers(workers)
+        self._shard_pool = None
+        self._solve_key = 0
+        self._distributed_solves = 0
+        self._shard_counters: dict[str, int] = {}
 
     # Worker-process rebuilding --------------------------------------------
 
@@ -155,6 +179,9 @@ class Deco:
         Worker processes rebuild an equivalent (cold-cache) Deco from
         this spec instead of pickling live caches and sample tensors;
         solves are cache-transparent, so plans come out identical.
+
+        ``workers`` is deliberately excluded: a rebuilt engine always
+        solves in-process, so worker processes never spawn nested pools.
         """
         return {
             "catalog": self.catalog,
@@ -178,6 +205,73 @@ class Deco:
     def from_spec(cls, spec: dict) -> "Deco":
         """Rebuild an engine from :meth:`spec` (in a worker process)."""
         return cls(**spec)
+
+    def _distributor(
+        self,
+        workflow: Workflow,
+        region: str | None,
+        deadline: float,
+        percentile: float,
+        faults: FaultModel | None,
+        recovery: RecoveryPolicy | None,
+        reliability_percentile: float | None,
+    ):
+        """This solve's sharded evaluator, or ``None`` when serial.
+
+        Spins up the persistent shard pool on first use (each worker
+        rebuilds an engine from :meth:`spec` exactly once), then
+        broadcasts the solve's compile/with_deadline/with_faults recipe
+        as the pool's prologue -- every shard derives the same compiled
+        problem the parent solves, and a worker respawned after a crash
+        replays the prologue before its first job.  ``wf_key`` hashes
+        the pickled workflow *content* (not its object identity), so a
+        shard reuses its cached base compilation exactly when the
+        tensors really are the same.
+        """
+        if self.workers <= 1:
+            return None
+        import hashlib
+        import pickle
+
+        from repro.parallel.executor import ShardPool
+        from repro.parallel.workers import beam_begin_solve, init_beam_worker
+        from repro.solver.shards import ShardedEvaluator
+
+        if self._shard_pool is None:
+            self._shard_pool = ShardPool(
+                self.workers, initializer=init_beam_worker, initargs=(self.spec(),)
+            )
+        wf_key = hashlib.sha1(
+            pickle.dumps((workflow, region), protocol=4)
+        ).hexdigest()
+        self._solve_key += 1
+        self._shard_pool.broadcast(
+            beam_begin_solve,
+            (
+                self._solve_key, wf_key, workflow, region,
+                deadline, percentile, faults, recovery, reliability_percentile,
+            ),
+        )
+        self._distributed_solves += 1
+        return ShardedEvaluator(self._shard_pool, self._solve_key)
+
+    def close(self) -> None:
+        """Release the shard pool's worker processes (idempotent).
+
+        The engine stays fully usable afterwards: a later sharded
+        solve lazily rebuilds the pool, and serial solves never needed
+        it.  Long-running services and the CLI call this when a batch
+        of solves is done; ``with Deco(...) as deco:`` does it for you.
+        """
+        if self._shard_pool is not None:
+            self._shard_pool.close()
+            self._shard_pool = None
+
+    def __enter__(self) -> "Deco":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # Cache management ------------------------------------------------------
 
@@ -205,9 +299,13 @@ class Deco:
         Keys: ``makespan`` and ``frontier`` (hit/miss/entry counters
         plus ``nbytes``), ``compiled_problems`` (memoized problem
         count), ``delta`` (the backend's incremental-propagation
-        counters, when the backend tracks them), and ``analytic``
+        counters, when the backend tracks them), ``analytic``
         (moment-propagation work counters, once any analytic tier or
-        backend has run).
+        backend has run), and -- on a sharded engine (``workers > 1``)
+        -- ``distributed``: the worker count, the number of sharded
+        solves, and the lifetime aggregate of the shards' reported
+        cache/delta/tier-0 counters, so sharded engines report the work
+        their workers did instead of near-empty parent caches.
         """
         makespan = self.cache.counters()
         makespan["nbytes"] = self.cache.nbytes()
@@ -227,6 +325,13 @@ class Deco:
         tier0 = analytic()
         if tier0 is not None:
             stats["analytic"] = tier0
+        if self.workers > 1:
+            distributed: dict = {
+                "workers": self.workers,
+                "solves": self._distributed_solves,
+            }
+            distributed.update(self._shard_counters)
+            stats["distributed"] = distributed
         return stats
 
     # Deadline helpers ------------------------------------------------------
@@ -280,7 +385,14 @@ class Deco:
         )
         if f is not None:
             problem = problem.with_faults(f, r, reliability_percentile=rp)
-        return self._solve(problem, seeds=tuple(seeds) + self._warm_starts(problem))
+        distributor = self._distributor(
+            workflow, region, d, deadline_percentile, f, r, rp
+        )
+        return self._solve(
+            problem,
+            seeds=tuple(seeds) + self._warm_starts(problem),
+            distributor=distributor,
+        )
 
     def _compiled(self, workflow: Workflow, region: str | None) -> CompiledProblem:
         """Compile ``workflow`` once; later deadlines derive from the base.
@@ -418,11 +530,24 @@ class Deco:
             self._op_masks.move_to_end(token)
         return mask
 
-    def _solve(self, problem: CompiledProblem, seeds: tuple[PlanState, ...] = ()) -> ProvisioningPlan:
+    def _solve(
+        self,
+        problem: CompiledProblem,
+        seeds: tuple[PlanState, ...] = (),
+        distributor=None,
+    ) -> ProvisioningPlan:
         t0 = time.perf_counter()
-        result = self._search.solve(problem, seeds=seeds, op_mask=self._op_mask(problem))
+        result = self._search.solve(
+            problem,
+            seeds=seeds,
+            op_mask=self._op_mask(problem),
+            distributor=distributor,
+        )
         elapsed = time.perf_counter() - t0
         self.last_result = result
+        if distributor is not None:
+            for key, value in distributor.counters.items():
+                self._shard_counters[key] = self._shard_counters.get(key, 0) + value
         if self.require_feasible and not result.feasible_found:
             raise InfeasibleError(
                 f"no plan meets P(makespan <= {problem.deadline:g}s) >= "

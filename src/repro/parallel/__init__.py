@@ -11,6 +11,10 @@ share:
   serial in-process fallback (``workers=1`` or ``REPRO_WORKERS=0``), and
   a clean single-warning downgrade when process pools are unavailable
   (restricted sandboxes, missing ``/dev/shm`` ...);
+* :class:`ShardPool` -- N single-worker pools with stable shard
+  affinity and a prologue broadcast/replay protocol, backing the
+  distributed beam solve (``Deco(workers=N)``); shard-resident
+  evaluation caches stay warm across beam iterations;
 * :mod:`repro.parallel.workers` -- the fork-aware per-worker context:
   module-level task functions plus initializers that rebuild pristine
   ``RngService`` / simulator / Deco state from picklable specs, so
@@ -25,6 +29,7 @@ perturb any individual run.
 from repro.parallel.executor import (
     ENV_WORKERS,
     ParallelExecutor,
+    ShardPool,
     chunk_evenly,
     map_tasks,
     resolve_workers,
@@ -34,6 +39,7 @@ from repro.parallel.executor import (
 __all__ = [
     "ENV_WORKERS",
     "ParallelExecutor",
+    "ShardPool",
     "chunk_evenly",
     "map_tasks",
     "resolve_workers",

@@ -33,6 +33,7 @@ from repro.common.errors import ValidationError
 __all__ = [
     "ENV_WORKERS",
     "ParallelExecutor",
+    "ShardPool",
     "chunk_evenly",
     "host_cpu_count",
     "map_tasks",
@@ -285,6 +286,245 @@ def map_tasks(
     """One-shot convenience wrapper around :class:`ParallelExecutor`."""
     executor = ParallelExecutor(workers, initializer=initializer, initargs=initargs)
     return executor.map_tasks(fn, items, progress=progress)
+
+
+def _warn_shard_crash(shard: int, exc: BaseException) -> None:
+    # Per-incident, like the mid-map recovery above: a dead beam shard
+    # is always worth a line, and the serial rerun covers exactly one
+    # shard's chunk -- not the whole iteration.
+    warnings.warn(
+        f"beam shard {shard} died mid-iteration ({type(exc).__name__}: {exc}); "
+        "re-running its chunk serially and respawning the shard",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class _ShardJob:
+    """A dispatched (or already-resolved) shard task.
+
+    Carries enough to re-run the task in-process if the shard's worker
+    dies before delivering: shard tasks are pure functions of their
+    payload plus the replayed per-worker context, so the rerun is safe.
+    """
+
+    __slots__ = ("shard", "fn", "payload", "future", "value", "error", "done")
+
+    def __init__(self, shard, fn, payload, future=None, value=None, error=None, done=False):
+        self.shard = shard
+        self.fn = fn
+        self.payload = payload
+        self.future = future
+        self.value = value
+        self.error = error
+        self.done = done
+
+
+class ShardPool:
+    """Shard-affine persistent worker pool (the distributed beam solve).
+
+    Unlike :class:`ParallelExecutor` -- which hands items to *whichever*
+    worker frees up -- a ShardPool keeps one dedicated single-process
+    executor per shard index, so shard ``i``'s jobs always land on the
+    same worker process.  That affinity is what keeps worker-resident
+    evaluation caches (makespan rows, finish-time frontiers, analytic
+    calibrations) warm across beam iterations instead of being rebuilt
+    per call.
+
+    Context protocol:
+
+    * ``initializer(*initargs)`` runs once per worker process (and once
+      in-process for the serial/fallback path) -- the heavy, solve-
+      independent rebuild (e.g. a Deco engine from its spec).
+    * :meth:`broadcast` runs a job on **every** shard and records it as
+      the *prologue*: any worker process created (or respawned after a
+      crash) later replays the current prologue before its first real
+      job, so per-solve context (the compiled problem) survives worker
+      loss without shipping it on every call.
+
+    Failure policy mirrors :class:`ParallelExecutor`: environments that
+    cannot run process pools downgrade to in-process execution with one
+    :class:`RuntimeWarning` per process; a worker that dies mid-job gets
+    its chunk re-run serially (per-incident warning) and its shard
+    respawned lazily -- results are identical either way because shard
+    tasks are pure.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        *,
+        initializer: Callable[..., None] | None = None,
+        initargs: Sequence[object] = (),
+    ):
+        self.workers = resolve_workers(workers)
+        self._initializer = initializer
+        self._initargs = tuple(initargs)
+        self._executors: list[object | None] = [None] * self.workers
+        # Replayed on every fresh worker process; version-stamped so the
+        # in-process fallback context can tell when it is stale.
+        self._prologue: list[tuple[Callable, object]] = []
+        self._version = 0
+        self._shard_versions = [-1] * self.workers
+        self._local_version = -1
+        self._local_init = False
+        self._serial = self.workers == 1
+        self._closed = False
+
+    @property
+    def is_serial(self) -> bool:
+        """Whether jobs currently run in-process (1 worker or fallback)."""
+        return self._serial
+
+    # In-process execution --------------------------------------------
+
+    def _ensure_local(self) -> None:
+        """Bring the in-process context up to date (init + prologue)."""
+        if not self._local_init:
+            if self._initializer is not None:
+                self._initializer(*self._initargs)
+            self._local_init = True
+        if self._local_version != self._version:
+            for fn, payload in self._prologue:
+                fn(payload)
+            self._local_version = self._version
+
+    def _run_local(self, fn: Callable, payload) -> object:
+        self._ensure_local()
+        return fn(payload)
+
+    def _downgrade(self, exc: BaseException) -> None:
+        _warn_serial_fallback(exc)
+        self._serial = True
+        self.close_executors()
+
+    # Worker-process execution ----------------------------------------
+
+    def _spawn(self, shard: int):
+        """The shard's executor, created (with prologue replay) on demand."""
+        if self._closed:
+            raise RuntimeError("ShardPool is closed")
+        executor = self._executors[shard]
+        if executor is not None and self._shard_versions[shard] == self._version:
+            return executor
+        from concurrent.futures import ProcessPoolExecutor
+
+        if executor is None:
+            executor = ProcessPoolExecutor(
+                max_workers=1,
+                initializer=self._initializer,
+                initargs=self._initargs,
+            )
+            self._executors[shard] = executor
+        # Replay the current prologue synchronously: a begin-solve that
+        # fails must surface here, not as a confusing "unknown solve"
+        # from the first real job.
+        for fn, payload in self._prologue:
+            executor.submit(fn, payload).result()
+        self._shard_versions[shard] = self._version
+        return executor
+
+    def _discard(self, shard: int) -> None:
+        executor = self._executors[shard]
+        self._executors[shard] = None
+        self._shard_versions[shard] = -1
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # Public API -------------------------------------------------------
+
+    def broadcast(self, fn: Callable[[_T], _R], payload: _T) -> list[_R]:
+        """Run ``(fn, payload)`` on every shard; record it as the prologue.
+
+        The recorded prologue replaces any previous one (solves are
+        sequential: only the current solve's context needs replaying on
+        a respawned worker).
+        """
+        self._prologue = [(fn, payload)]
+        self._version += 1
+        self._local_version = -1  # the in-process context is now stale
+        if self._serial:
+            return [self._run_local(fn, payload)]
+        results: list[_R] = []
+        for shard in range(self.workers):
+            try:
+                self._spawn(shard)  # prologue replay IS the broadcast
+            except (NotImplementedError, OSError) as exc:
+                self._downgrade(exc)
+                return [self._run_local(fn, payload)]
+            except BrokenProcessPool as exc:
+                _warn_shard_crash(shard, exc)
+                self._discard(shard)
+                results.append(self._run_local(fn, payload))  # type: ignore[arg-type]
+                continue
+            results.append(True)  # type: ignore[arg-type]
+        return results
+
+    def submit(self, shard: int, fn: Callable[[_T], _R], payload: _T) -> _ShardJob:
+        """Dispatch a job to ``shard % workers``; never blocks on results.
+
+        Pair with :meth:`gather`.  In serial/fallback mode the job runs
+        inline here and :meth:`gather` just unwraps it.
+        """
+        shard = shard % self.workers
+        if not self._serial:
+            try:
+                executor = self._spawn(shard)
+                return _ShardJob(shard, fn, payload, future=executor.submit(fn, payload))
+            except (NotImplementedError, OSError) as exc:
+                self._downgrade(exc)
+            except BrokenProcessPool as exc:
+                _warn_shard_crash(shard, exc)
+                self._discard(shard)
+                return _ShardJob(shard, fn, payload)  # resolved at gather, locally
+        try:
+            return _ShardJob(shard, fn, payload, value=self._run_local(fn, payload), done=True)
+        except Exception as exc:  # surfaced at gather, like a future's
+            return _ShardJob(shard, fn, payload, error=exc, done=True)
+
+    def gather(self, jobs: Sequence[_ShardJob]) -> list:
+        """Results of :meth:`submit` jobs, in submission-list order.
+
+        A shard whose worker died mid-job is warned about (per
+        incident), its chunk re-run in-process against the replayed
+        prologue context, and its executor respawned on next use -- the
+        result list is identical to an undisturbed run.
+        """
+        results = []
+        for job in jobs:
+            if job.future is None:
+                if job.error is not None:
+                    raise job.error
+                if not job.done:
+                    # Dispatch-time crash: resolve locally now.
+                    job.value = self._run_local(job.fn, job.payload)
+                    job.done = True
+                results.append(job.value)
+                continue
+            try:
+                results.append(job.future.result())
+            except BrokenProcessPool as exc:
+                _warn_shard_crash(job.shard, exc)
+                self._discard(job.shard)
+                results.append(self._run_local(job.fn, job.payload))
+            except (NotImplementedError, OSError) as exc:
+                self._downgrade(exc)
+                results.append(self._run_local(job.fn, job.payload))
+        return results
+
+    def run(self, fn: Callable[[_T], _R], payloads: Sequence[_T]) -> list[_R]:
+        """Barrier convenience: ``payloads[i]`` on shard ``i``, gathered."""
+        return self.gather([self.submit(i, fn, p) for i, p in enumerate(payloads)])
+
+    def close_executors(self) -> None:
+        """Shut down every worker process (the pool stays usable serially)."""
+        for shard in range(self.workers):
+            self._discard(shard)
+
+    def close(self) -> None:
+        """Shut down the pool for good (idempotent)."""
+        self.close_executors()
+        self._closed = True
 
 
 def chunk_evenly(items: Sequence[_T], chunks: int) -> list[list[_T]]:

@@ -30,10 +30,14 @@ from repro.workflow.dag import Workflow
 from repro.workflow.runtime_model import RuntimeModel
 
 if TYPE_CHECKING:  # import cycle guard (parallel <-> engine), typing only
+    import numpy as np
+
     from repro.engine.deco import Deco
     from repro.engine.plan import ProvisioningPlan
     from repro.faults.model import FaultModel
     from repro.faults.recovery import RecoveryPolicy
+    from repro.solver.backends import CompiledProblem
+    from repro.solver.state import PlanState, StateEval
 
 __all__ = [
     "init_simulator_worker",
@@ -41,6 +45,10 @@ __all__ = [
     "init_deco_worker",
     "solve_plan_job",
     "solve_plans",
+    "init_beam_worker",
+    "beam_begin_solve",
+    "beam_screen_job",
+    "beam_eval_job",
 ]
 
 # Worker-process singletons, populated by the initializers.  In serial
@@ -182,3 +190,164 @@ def solve_plans(
     )
     payloads = [(*job, on_error) for job in jobs]
     return dict(executor.map_tasks(solve_plan_job, payloads, progress=progress))
+
+# Beam shards ----------------------------------------------------------------
+#
+# The distributed beam solve (see DESIGN.md §13) keeps one Deco engine
+# resident per shard process and, per solve, one compiled problem derived
+# from the engine's base compilation -- exactly mirroring
+# ``Deco.schedule``'s compile/with_deadline/with_faults pipeline so every
+# per-state number a shard returns is bitwise what the serial loop would
+# compute.  Shards return raw per-candidate values only (moments, prefix
+# probabilities, StateEvals, monotone counter deltas); every *decision*
+# -- tier classification, keep masks, incumbent updates, frontier merge
+# -- happens in the parent, which is what makes plans bit-identical at
+# any worker count.
+
+_BEAM_DECO: "Deco | None" = None
+#: wf_key (content hash of the pickled workflow/region) -> base problem.
+_BEAM_BASES: "dict[str, CompiledProblem]" = {}
+_BEAM_BASE_ORDER: list[str] = []
+_BEAM_BASE_LIMIT = 4
+#: The current solve's (solve_key, derived problem); solves are
+#: sequential, so one slot suffices.
+_BEAM_PROBLEM: "tuple[int, CompiledProblem] | None" = None
+
+
+def init_beam_worker(spec: Mapping[str, object]) -> None:
+    """Rebuild this shard's resident Deco engine from :meth:`Deco.spec`.
+
+    Runs once per worker process (and once in-process for the serial
+    fallback path).  The engine's caches start cold and stay warm across
+    beam iterations thanks to the :class:`ShardPool`'s shard affinity.
+    """
+    from repro.engine.deco import Deco
+
+    global _BEAM_DECO, _BEAM_PROBLEM
+    _BEAM_DECO = Deco.from_spec(dict(spec))
+    _BEAM_PROBLEM = None
+    _BEAM_BASES.clear()
+    _BEAM_BASE_ORDER.clear()
+
+
+def beam_begin_solve(
+    payload: tuple[
+        int, str, Workflow, str | None, float, float,
+        "FaultModel | None", "RecoveryPolicy | None", float | None,
+    ],
+) -> bool:
+    """Install one solve's compiled problem in this shard (the prologue).
+
+    Mirrors ``Deco.schedule`` exactly: compile the workflow once per
+    content hash (``wf_key``), derive the deadline via ``with_deadline``
+    (sharing the sample tensor, so the shard's makespan cache keeps
+    hitting across deadline sweeps), then apply the fault model.  The
+    sample tensor is a pure function of (workflow, catalog, num_samples,
+    seed), so a respawned worker replaying this prologue reproduces the
+    parent's evaluation numbers bit for bit.
+    """
+    (
+        solve_key, wf_key, workflow, region,
+        deadline, percentile, faults, recovery, reliability_percentile,
+    ) = payload
+    deco = _BEAM_DECO
+    if deco is None:
+        raise RuntimeError("beam worker used before init_beam_worker")
+    from repro.solver.backends import CompiledProblem
+
+    base = _BEAM_BASES.get(wf_key)
+    if base is None:
+        base = CompiledProblem.compile(
+            workflow=workflow,
+            catalog=deco.catalog,
+            deadline=1.0,
+            percentile=96.0,
+            num_samples=deco.num_samples,
+            seed=deco.seed,
+            runtime_model=deco.runtime_model,
+            region=region,
+        )
+        _BEAM_BASES[wf_key] = base
+        _BEAM_BASE_ORDER.append(wf_key)
+        while len(_BEAM_BASE_ORDER) > _BEAM_BASE_LIMIT:
+            _BEAM_BASES.pop(_BEAM_BASE_ORDER.pop(0), None)
+    problem = base.with_deadline(deadline, percentile=percentile)
+    if faults is not None:
+        problem = problem.with_faults(
+            faults, recovery, reliability_percentile=reliability_percentile
+        )
+    global _BEAM_PROBLEM
+    _BEAM_PROBLEM = (solve_key, problem)
+    return True
+
+
+def _beam_context(solve_key: int) -> "tuple[Deco, CompiledProblem]":
+    if _BEAM_DECO is None:
+        raise RuntimeError("beam worker used before init_beam_worker")
+    if _BEAM_PROBLEM is None or _BEAM_PROBLEM[0] != solve_key:
+        raise RuntimeError(
+            f"beam worker has no problem for solve {solve_key} "
+            "(beam_begin_solve prologue missing or stale)"
+        )
+    return _BEAM_DECO, _BEAM_PROBLEM[1]
+
+
+def _beam_counters(deco: "Deco") -> dict[str, int]:
+    """This shard's flat monotone work counters (caches + delta + tier 0)."""
+    snap = deco.backend.counters_snapshot()
+    tier0 = deco._search.analytic_stats()
+    if tier0:
+        for key, value in tier0.items():
+            snap[key] = int(value)
+    return snap
+
+
+def _beam_delta(before: dict[str, int], after: dict[str, int]) -> dict[str, int]:
+    return {key: value - before.get(key, 0) for key, value in after.items()}
+
+
+def beam_screen_job(
+    payload: "tuple[int, list[PlanState], bool, bool, int]",
+) -> "tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None, dict[str, int]]":
+    """Tier-0 moments and/or tier-1 prefix probabilities for one chunk.
+
+    Pure per-candidate numbers: analytic makespan moments and prefix-MC
+    deadline probabilities are per-state values independent of batch
+    composition, so the parent can classify/keep against the *global*
+    batch (median standdown, survivor gates) after concatenating chunk
+    results in order.
+    """
+    solve_key, states, want_moments, want_screen, screen_samples = payload
+    deco, problem = _beam_context(solve_key)
+    before = _beam_counters(deco)
+    a_mean = a_var = probs = None
+    if want_moments and states:
+        a_mean, a_var = deco._search._analytic_evaluator().makespan_moments(
+            problem, list(states)
+        )
+    if want_screen and states:
+        probs = deco.backend.screen_probabilities(
+            problem, list(states), screen_samples
+        )
+    return a_mean, a_var, probs, _beam_delta(before, _beam_counters(deco))
+
+
+def beam_eval_job(
+    payload: "tuple[int, list[PlanState], list[PlanState], bool]",
+) -> "tuple[list[StateEval], dict[str, int]]":
+    """Tier-2 full-fidelity evaluation of one chunk.
+
+    Pins the chunk's expanded parents first (when incremental), so the
+    shard-resident EvalContext serves the delta-propagation path; a
+    parent first seen by this shard is propagated in full -- slower,
+    never different, because the delta path is bit-identical to the full
+    kernel by construction.
+    """
+    solve_key, states, parents, incremental = payload
+    deco, problem = _beam_context(solve_key)
+    before = _beam_counters(deco)
+    if incremental and parents and hasattr(deco.backend, "ensure_frontier"):
+        for parent in parents:
+            deco.backend.ensure_frontier(problem, parent)
+    evals = list(deco.backend.evaluate_batch(problem, list(states))) if states else []
+    return evals, _beam_delta(before, _beam_counters(deco))

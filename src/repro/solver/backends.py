@@ -379,6 +379,29 @@ class EvaluationBackend(abc.ABC):
     def evaluate(self, problem: CompiledProblem, state: PlanState) -> StateEval:
         return self.evaluate_batch(problem, [state])[0]
 
+    def counters_snapshot(self) -> dict[str, int]:
+        """Flat monotone work counters, for cross-process aggregation.
+
+        Beam-shard workers diff this snapshot around each job and ship
+        the delta back, so a sharded solve can report cache and
+        delta-propagation totals comparable to a serial one's
+        (``SearchResult`` / ``Deco.cache_stats``).  Only monotone
+        counters belong here -- sizes like ``entries`` do not aggregate
+        across processes.
+        """
+        snap: dict[str, int] = {}
+        if self.cache is not None:
+            c = self.cache.counters()
+            snap["makespan_hits"] = c["hits"]
+            snap["makespan_misses"] = c["misses"]
+        if self.eval_context is not None:
+            c = self.eval_context.counters()
+            snap["frontier_hits"] = c["hits"]
+            snap["frontier_misses"] = c["misses"]
+        for key, value in (getattr(self, "delta_counters", None) or {}).items():
+            snap[key] = value
+        return snap
+
     def screen_problem(self, problem: CompiledProblem, prefix: int) -> CompiledProblem:
         """The (memoized, when possible) sample-prefix screening problem."""
         if self.eval_context is not None:

@@ -29,7 +29,7 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Hashable, Iterable
+from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
 import numpy as np
 from scipy.special import ndtr, ndtri
@@ -38,6 +38,9 @@ from repro.analysis.dominance import OpMask, futile_offpath_promotes
 from repro.common.errors import SolverError
 from repro.solver.backends import CompiledProblem, EvaluationBackend, VectorizedBackend
 from repro.solver.state import PlanState, StateEval
+
+if TYPE_CHECKING:  # import cycle guard (shards import the worker module)
+    from repro.solver.shards import ShardedEvaluator
 
 
 def _critical_indices(
@@ -109,6 +112,16 @@ class SearchResult:
     ``levels_total`` / ``rows_recomputed`` / ``rows_total`` counters
     come from the backend's delta-propagation path (zero when the
     backend has no :class:`~repro.solver.cache.EvalContext`).
+
+    On a sharded solve (``workers > 1``) the cache and delta counters
+    aggregate the per-shard deltas each worker reports, so sharded and
+    serial solves report comparable work totals; ``speculated`` /
+    ``speculation_hits`` count the speculative child expansions the
+    parent ran while shards evaluated, and how many were consumed by
+    the next iteration's expansion (the rest were reconciled away).
+    All *trajectory* counters (evaluations, expansions, the tier
+    counters, ``screened_out``, ``pruned_candidates``) are parent-side
+    decisions and therefore identical at any worker count.
     """
 
     best_state: PlanState
@@ -131,6 +144,9 @@ class SearchResult:
     levels_total: int = 0        # level recomputations a full pass would do
     rows_recomputed: int = 0     # task rows actually re-propagated
     rows_total: int = 0          # task rows a full pass would propagate
+    workers: int = 1             # shard count the solve actually ran with
+    speculated: int = 0          # speculative child expansions performed
+    speculation_hits: int = 0    # speculations consumed by the next iteration
 
     def assignment_names(self, problem: CompiledProblem) -> dict[str, str]:
         """task id -> instance type name for the best state."""
@@ -291,6 +307,7 @@ class GenericSearch:
         initial: PlanState | None = None,
         seeds: Iterable[PlanState] = (),
         op_mask: OpMask | None = None,
+        distributor: "ShardedEvaluator | None" = None,
     ) -> SearchResult:
         """Search for the cheapest plan meeting the deadline constraint.
 
@@ -309,6 +326,18 @@ class GenericSearch:
         call is skipped -- so the returned plan is identical with the
         mask on or off (asserted by the property tests and the solver
         bench).
+
+        ``distributor`` (a
+        :class:`~repro.solver.shards.ShardedEvaluator`) shards each
+        iteration's candidate batch across the engine's worker pool.
+        Shards compute only pure per-candidate numbers; every decision
+        stays here, so the returned plan is bit-identical to the serial
+        path at any worker count (asserted by the shard test matrix and
+        the solver bench's ``distributed.identical`` gate).  While
+        shards run the tier-2 batch, the parent speculatively expands
+        the current frontier's top states -- memoized child lists that
+        the next iteration consumes if those parents survive the merge
+        and discards otherwise.
         """
         n = problem.num_tasks
         k = problem.num_types
@@ -335,7 +364,10 @@ class GenericSearch:
         hits0, misses0 = (cache.hits, cache.misses) if cache else (0, 0)
         delta0 = dict(getattr(self.backend, "delta_counters", None) or {})
 
-        evals = self.backend.evaluate_batch(problem, frontier_states)
+        if distributor is not None and not distributor.is_serial:
+            evals = distributor.eval_round(frontier_states)
+        else:
+            evals = self.backend.evaluate_batch(problem, frontier_states)
         evaluations = len(frontier_states)
         exact_evals = len(frontier_states)
         screen_evals = 0
@@ -355,12 +387,33 @@ class GenericSearch:
         expansions = 0
         dry_screens = 0
         dry_analytic = 0
+        # Speculative expansion memo: (parent key, incumbent feasibility)
+        # -> raw ``_children`` output, populated while shards evaluate
+        # and consumed (or discarded) by the very next iteration.  The
+        # key carries the only input ``_children`` reads from the
+        # incumbent -- its feasibility flag -- so a hit is *provably*
+        # what the fresh call would return; everything else it depends
+        # on (problem, the parent's state and eval, the op mask) is
+        # frozen for the solve.
+        spec_memo: dict[tuple[bytes, bool], list[tuple[PlanState, bool]]] = {}
+        speculated = 0
+        speculation_hits = 0
+        sort_key = self._frontier_key
 
         while frontier and evaluations < self.max_evaluations:
-            frontier.sort(key=lambda se: self._priority(se[1]))
+            # Stable total order: priority first, assignment bytes as
+            # the tiebreak, so the ranking is a function of the
+            # frontier *set* -- never of the insertion order a shard
+            # merge (or any future refactor) might perturb.
+            frontier.sort(key=sort_key)
             frontier = frontier[: self.beam_width]
             batch = frontier[: self.expand_per_iter]
             frontier = frontier[self.expand_per_iter :]
+            dist = (
+                distributor
+                if distributor is not None and not distributor.is_serial
+                else None
+            )
 
             # Children of every expanded state, deduped against the
             # visited set, form one backend batch (block-per-state).
@@ -371,12 +424,21 @@ class GenericSearch:
             inherited: dict[bytes, StateEval] = {}
             for state, ev in batch:
                 expansions += 1
-                for c, dominated in self._children(problem, state, ev, best_eval, op_mask):
+                kids = spec_memo.pop((state.key, best_eval.feasible), None)
+                if kids is None:
+                    kids = self._children(problem, state, ev, best_eval, op_mask)
+                else:
+                    speculation_hits += 1
+                for c, dominated in kids:
                     if c.key not in seen:
                         seen.add(c.key)
                         children.append(c)
                         if dominated:
                             inherited[c.key] = ev
+            # Reconcile: speculations whose parent did not make this
+            # batch (pruned, outranked, or the incumbent's feasibility
+            # flipped) are stale one-step lookahead -- discard them.
+            spec_memo.clear()
             if not children:
                 continue
             budget = self.max_evaluations - evaluations
@@ -409,12 +471,42 @@ class GenericSearch:
             # frontier ordering *among clearly-infeasible states* (a
             # probability tie-break) rests on the analytic numbers.
             survivors = list(children)
+
+            # Distributed round A: tier-0 moments and tier-1 prefix
+            # probabilities ride ONE sharded barrier.  Sound because
+            # both are pure per-candidate values: the parent runs the
+            # global classification below on the concatenated moments,
+            # and subsets the precomputed probabilities to the tier-0
+            # survivors -- bitwise the serial cascade's numbers.  The
+            # tier-1 gate is monotone in batch size, so pre-computing
+            # for the full batch can only over-compute (wasted shard
+            # work), never under-compute: the gate is re-checked on the
+            # actual survivor count before any probability is *used*.
+            a_mean = a_var = None
+            pre_probs: dict[bytes, float] | None = None
+            if dist is not None:
+                want_moments = dry_analytic < self._DRY_SCREEN_LIMIT and (
+                    self._analytic_active(problem, best_eval, len(survivors))
+                )
+                want_screen = dry_screens < self._DRY_SCREEN_LIMIT and (
+                    self._screen_active(problem, best_eval, len(survivors))
+                )
+                if want_moments or want_screen:
+                    a_mean, a_var, probs_all = dist.screen_round(
+                        survivors, want_moments, want_screen, self.screen_samples
+                    )
+                    if probs_all is not None:
+                        pre_probs = {
+                            c.key: float(p) for c, p in zip(survivors, probs_all)
+                        }
+
             if dry_analytic < self._DRY_SCREEN_LIMIT and self._analytic_active(
                 problem, best_eval, len(survivors)
             ):
-                a_mean, a_var = self._analytic_evaluator().makespan_moments(
-                    problem, survivors
-                )
+                if a_mean is None:
+                    a_mean, a_var = self._analytic_evaluator().makespan_moments(
+                        problem, survivors
+                    )
                 sd = np.sqrt(np.maximum(a_var, 0.0))
                 floor = self.analytic_sd_floor * np.abs(a_mean)
                 if float(np.median(sd)) < float(np.median(floor)):
@@ -481,9 +573,14 @@ class GenericSearch:
             if survivors and dry_screens < self._DRY_SCREEN_LIMIT and self._screen_active(
                 problem, best_eval, len(survivors)
             ):
-                probs = self.backend.screen_probabilities(
-                    problem, survivors, self.screen_samples
-                )
+                if pre_probs is not None:
+                    # Same per-state values the shards computed in round
+                    # A, subset to the tier-0 survivors.
+                    probs = np.array([pre_probs[c.key] for c in survivors])
+                else:
+                    probs = self.backend.screen_probabilities(
+                        problem, survivors, self.screen_samples
+                    )
                 screen_evals += len(survivors)
                 keep = probs + self.screen_margin >= problem.required_probability
                 if not np.all(keep):
@@ -518,20 +615,43 @@ class GenericSearch:
                         source=pev.source,
                     )
             if to_eval:
-                # Pin the expanded parents' finish-time frontiers so the
-                # full evaluation takes the delta-propagation path.
-                # Only parents that still have an MC-bound child are
-                # pinned -- a frontier is a performance hint, not a
-                # correctness requirement, and pinning a parent whose
-                # whole brood was settled above would be pure wasted
-                # propagation.
-                if self.incremental and hasattr(self.backend, "ensure_frontier"):
-                    needed = {c.parent_key for c in to_eval}
-                    for state, _ in batch:
-                        if state.key in needed:
-                            self.backend.ensure_frontier(problem, state)
+                if dist is not None:
+                    # Distributed round B: shards pin their own chunk's
+                    # parents and evaluate at full fidelity; meanwhile
+                    # the parent speculatively expands the states most
+                    # likely to top the next iteration's batch -- the
+                    # current frontier's best under the same total
+                    # order the next sort will use.  Child generation
+                    # (critical paths, dominance masks) thus overlaps
+                    # shard evaluation instead of serializing after it.
+                    jobs = dist.submit_eval(
+                        to_eval, [state for state, _ in batch], self.incremental
+                    )
+                    for st, sev in sorted(frontier, key=sort_key)[
+                        : self.expand_per_iter
+                    ]:
+                        memo_key = (st.key, best_eval.feasible)
+                        if memo_key not in spec_memo:
+                            spec_memo[memo_key] = self._children(
+                                problem, st, sev, best_eval, op_mask
+                            )
+                            speculated += 1
+                    child_evals = dist.gather_eval(jobs)
+                else:
+                    # Pin the expanded parents' finish-time frontiers so
+                    # the full evaluation takes the delta-propagation
+                    # path.  Only parents that still have an MC-bound
+                    # child are pinned -- a frontier is a performance
+                    # hint, not a correctness requirement, and pinning a
+                    # parent whose whole brood was settled above would
+                    # be pure wasted propagation.
+                    if self.incremental and hasattr(self.backend, "ensure_frontier"):
+                        needed = {c.parent_key for c in to_eval}
+                        for state, _ in batch:
+                            if state.key in needed:
+                                self.backend.ensure_frontier(problem, state)
 
-                child_evals = self.backend.evaluate_batch(problem, to_eval)
+                    child_evals = self.backend.evaluate_batch(problem, to_eval)
                 exact_evals += len(to_eval)
                 settled.update(
                     (cst.key, cev) for cst, cev in zip(to_eval, child_evals)
@@ -568,6 +688,11 @@ class GenericSearch:
             exact_evals += 1
 
         delta1 = dict(getattr(self.backend, "delta_counters", None) or {})
+        # Worker-side work totals: the shards' caches saw the traffic
+        # this process's caches would have seen serially, so fold their
+        # reported deltas in -- sharded and serial solves then report
+        # comparable totals instead of the sharded one reading ~zero.
+        shard = dict(getattr(distributor, "counters", None) or {})
         return SearchResult(
             best_state=best_state,
             best_eval=best_eval,
@@ -575,8 +700,10 @@ class GenericSearch:
             expansions=expansions,
             feasible_found=best_eval.feasible,
             trace=trace,
-            cache_hits=(cache.hits - hits0) if cache else 0,
-            cache_misses=(cache.misses - misses0) if cache else 0,
+            cache_hits=((cache.hits - hits0) if cache else 0)
+            + shard.get("makespan_hits", 0),
+            cache_misses=((cache.misses - misses0) if cache else 0)
+            + shard.get("makespan_misses", 0),
             exact_evals=exact_evals,
             screen_evals=screen_evals,
             screened_out=screened_out,
@@ -585,13 +712,23 @@ class GenericSearch:
             analytic_accepted=analytic_accepted,
             pruned_candidates=pruned_candidates,
             states_incremental=delta1.get("states_incremental", 0)
-            - delta0.get("states_incremental", 0),
+            - delta0.get("states_incremental", 0)
+            + shard.get("states_incremental", 0),
             levels_skipped=delta1.get("levels_skipped", 0)
-            - delta0.get("levels_skipped", 0),
-            levels_total=delta1.get("levels_total", 0) - delta0.get("levels_total", 0),
+            - delta0.get("levels_skipped", 0)
+            + shard.get("levels_skipped", 0),
+            levels_total=delta1.get("levels_total", 0)
+            - delta0.get("levels_total", 0)
+            + shard.get("levels_total", 0),
             rows_recomputed=delta1.get("rows_recomputed", 0)
-            - delta0.get("rows_recomputed", 0),
-            rows_total=delta1.get("rows_total", 0) - delta0.get("rows_total", 0),
+            - delta0.get("rows_recomputed", 0)
+            + shard.get("rows_recomputed", 0),
+            rows_total=delta1.get("rows_total", 0)
+            - delta0.get("rows_total", 0)
+            + shard.get("rows_total", 0),
+            workers=distributor.workers if distributor is not None else 1,
+            speculated=speculated,
+            speculation_hits=speculation_hits,
         )
 
     # ------------------------------------------------------------------
@@ -666,6 +803,19 @@ class GenericSearch:
         if ev.feasible:
             return (0, ev.cost, -ev.probability)
         return (1, -ev.probability, ev.cost)
+
+    @classmethod
+    def _frontier_key(cls, se: tuple[PlanState, StateEval]) -> tuple:
+        """Total order for frontier ranking: priority, then assignment bytes.
+
+        The byte tiebreak makes the ranking a function of the frontier
+        *set*: two entries never compare equal (state keys are unique
+        within a frontier), so the sorted order -- and with it every
+        beam/expansion cut -- is independent of insertion order.  That
+        is what lets the sharded merge concatenate chunk results in any
+        grouping and still reproduce the serial beam exactly.
+        """
+        return (*cls._priority(se[1]), se[0].key)
 
     def _children(
         self,

@@ -10,6 +10,7 @@ from repro.parallel import executor as executor_mod
 from repro.parallel.executor import (
     ENV_WORKERS,
     ParallelExecutor,
+    ShardPool,
     chunk_evenly,
     map_tasks,
     resolve_workers,
@@ -190,6 +191,119 @@ class TestSerialFallback:
         executor = ParallelExecutor(4, initializer=set_context, initargs=(11,))
         with pytest.warns(RuntimeWarning):
             assert executor.map_tasks(read_context, [5]* 2) == [(11, 5), (11, 5)]
+
+
+def _context_square(x):
+    # Pure function of (payload, replayed context): what shard jobs are.
+    return (_CONTEXT.get("value"), x * x)
+
+
+def _context_square_or_die(x):
+    import multiprocessing
+
+    if x == "die" and multiprocessing.parent_process() is not None:
+        os._exit(1)
+    return (_CONTEXT.get("value"), 0 if x == "die" else x * x)
+
+
+class TestShardPool:
+    def test_run_preserves_payload_order(self):
+        pool = ShardPool(2)
+        try:
+            assert pool.run(square, [3, 5, 7]) == [9, 25, 49]
+        finally:
+            pool.close()
+
+    def test_serial_pool_runs_inline(self):
+        pool = ShardPool(1, initializer=set_context, initargs=(4,))
+        try:
+            assert pool.is_serial
+            job = pool.submit(0, read_context, 6)
+            assert job.done and job.future is None
+            assert pool.gather([job]) == [(4, 6)]
+        finally:
+            pool.close()
+
+    def test_shard_affinity_is_stable(self):
+        pool = ShardPool(2)
+        try:
+            first = pool.run(worker_pid, [0, 1])
+            second = pool.run(worker_pid, [0, 1])
+            assert first == second  # shard i always lands on the same process
+        finally:
+            pool.close()
+
+    def test_broadcast_prologue_reaches_every_shard(self):
+        pool = ShardPool(2, initializer=set_context, initargs=(1,))
+        try:
+            pool.broadcast(set_context, 42)
+            assert pool.run(_context_square, [2, 3]) == [(42, 4), (42, 9)]
+            # A later broadcast replaces the prologue on every shard.
+            pool.broadcast(set_context, 43)
+            assert pool.run(_context_square, [2, 3]) == [(43, 4), (43, 9)]
+        finally:
+            pool.close()
+
+    def test_prologue_replayed_on_respawned_shard(self):
+        pool = ShardPool(2)
+        try:
+            pool.broadcast(set_context, 9)
+            with pytest.warns(RuntimeWarning, match="beam shard"):
+                out = pool.run(_context_square_or_die, ["die", 3])
+            # The dead shard's chunk re-ran in-process against the
+            # *replayed* prologue, so its context value is still 9.
+            assert out == [(9, 0), (9, 9)]
+            # Next use respawns the shard; the fresh worker replays the
+            # prologue before its first real job.
+            assert pool.run(_context_square, [2, 3]) == [(9, 4), (9, 9)]
+        finally:
+            pool.close()
+
+    def test_submit_gather_split_keeps_submission_order(self):
+        pool = ShardPool(2)
+        try:
+            jobs = [pool.submit(i, square, x) for i, x in enumerate([4, 5, 6])]
+            assert pool.gather(jobs) == [16, 25, 36]  # shard index wraps: 6 -> shard 0
+        finally:
+            pool.close()
+
+    def test_job_exception_surfaces_at_gather(self):
+        pool = ShardPool(1)
+        try:
+            job = pool.submit(0, _divide_by, 0)
+            with pytest.raises(ZeroDivisionError):
+                pool.gather([job])
+        finally:
+            pool.close()
+
+    def test_closed_pool_rejects_parallel_submit(self):
+        pool = ShardPool(2)
+        pool.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(0, square, 1)
+
+
+class TestShardPoolFallback:
+    @pytest.fixture(autouse=True)
+    def reset_warning_flag(self):
+        executor_mod._warned_fallback = False
+        yield
+        executor_mod._warned_fallback = False
+
+    def test_downgrades_to_in_process_with_context(self, monkeypatch):
+        def unavailable(*args, **kwargs):
+            raise NotImplementedError("no process pools in this sandbox")
+
+        monkeypatch.setattr(concurrent.futures, "ProcessPoolExecutor", unavailable)
+        pool = ShardPool(3, initializer=set_context, initargs=(8,))
+        try:
+            with pytest.warns(RuntimeWarning, match="falling back to serial"):
+                pool.broadcast(set_context, 12)
+            assert pool.is_serial
+            # Jobs keep working in-process against the broadcast context.
+            assert pool.run(_context_square, [2, 3, 4]) == [(12, 4), (12, 9), (12, 16)]
+        finally:
+            pool.close()
 
 
 class TestChunkEvenly:

@@ -1,0 +1,207 @@
+"""Tests for the distributed beam solve (PR 8).
+
+The contract under test is bit-identity: ``Deco(workers=N)`` must pick
+the same plan, through the same search trajectory, as the serial solve
+-- for any N, with every evaluation-tier toggle in any position.  The
+supporting lemma (per-candidate kernel values do not depend on batch
+composition) gets its own property-based test, and the frontier
+tie-break that makes the shard merge order-independent is pinned
+directly.
+"""
+
+import random
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cloud.instance_types import ec2_catalog
+from repro.engine.deco import Deco
+from repro.parallel.executor import chunk_evenly
+from repro.solver.backends import CompiledProblem, VectorizedBackend
+from repro.solver.search import GenericSearch
+from repro.solver.state import PlanState, StateEval
+from repro.workflow.generators import montage
+from repro.workflow.runtime_model import RuntimeModel
+
+CATALOG = ec2_catalog()
+MODEL = RuntimeModel(CATALOG)
+
+# Parent-side decisions: identical at any worker count (DESIGN.md §13).
+TRAJECTORY_COUNTERS = (
+    "evaluations",
+    "expansions",
+    "exact_evals",
+    "screen_evals",
+    "screened_out",
+    "analytic_evals",
+    "analytic_screened_out",
+    "analytic_accepted",
+    "pruned_candidates",
+)
+
+
+def solve_once(wf, workers, **overrides):
+    kwargs = dict(seed=7, num_samples=100, max_evaluations=250)
+    kwargs.update(overrides)
+    with warnings.catch_warnings():
+        # This host may have fewer cores than shards; the advisory
+        # oversubscription warning is irrelevant to identity.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with Deco(CATALOG, workers=workers, **kwargs) as deco:
+            plan = deco.schedule(wf, "medium")
+            result = deco.last_result
+    return plan.decision_dict(), result
+
+
+class TestBitIdentityAcrossWorkers:
+    """workers x incremental matrix on Montage-1: plans and trajectories."""
+
+    @pytest.fixture(scope="class")
+    def wf(self):
+        return montage(degrees=1, seed=2)
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_plans_and_trajectories_match_serial(self, wf, incremental):
+        reference, ref_result = solve_once(wf, 1, incremental=incremental)
+        for workers in (2, 4):
+            decisions, result = solve_once(wf, workers, incremental=incremental)
+            assert decisions == reference, f"plan diverged at workers={workers}"
+            assert result.workers == workers
+            for name in TRAJECTORY_COUNTERS:
+                assert getattr(result, name) == getattr(ref_result, name), (
+                    f"{name} diverged at workers={workers}"
+                )
+
+    def test_sharded_solve_reports_shard_cache_work(self, wf):
+        _, serial = solve_once(wf, 1)
+        _, sharded = solve_once(wf, 2)
+        # The shard-resident caches report their misses back to the
+        # parent: total makespan rows computed match the serial solve.
+        assert sharded.cache_hits + sharded.cache_misses > 0
+        assert sharded.cache_misses == serial.cache_misses
+
+    def test_speculation_counters_populated(self, wf):
+        _, result = solve_once(wf, 2)
+        assert result.speculated > 0
+        assert 0 <= result.speculation_hits <= result.speculated
+        _, serial = solve_once(wf, 1)
+        assert serial.speculated == 0  # serial path never speculates
+
+
+class TestBitIdentityAnalyticTier:
+    """Montage-8 activates tier 0; the sharded cascade must not drift."""
+
+    def test_analytic_screen_on_and_off(self):
+        wf = montage(degrees=8.0, seed=0)
+        for screen in (True, False):
+            reference, ref_result = solve_once(
+                wf, 1, num_samples=40, max_evaluations=400, analytic_screen=screen
+            )
+            decisions, result = solve_once(
+                wf, 2, num_samples=40, max_evaluations=400, analytic_screen=screen
+            )
+            assert decisions == reference, f"plan diverged (analytic_screen={screen})"
+            assert result.analytic_evals == ref_result.analytic_evals
+            if screen:
+                assert result.analytic_evals > 0  # the tier ran, sharded
+            else:
+                assert result.analytic_evals == 0
+
+
+class TestShardCrashDuringSolve:
+    def test_killed_shard_recovers_with_identical_plan(self):
+        wf = montage(degrees=1, seed=2)
+        reference, _ = solve_once(wf, 1, num_samples=60, max_evaluations=120)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            deco = Deco(CATALOG, workers=2, seed=7, num_samples=60, max_evaluations=120)
+            try:
+                deco.schedule(wf, "medium")  # spin up + warm the shards
+                for executor in deco._shard_pool._executors:
+                    if executor is not None:
+                        for proc in executor._processes.values():
+                            proc.kill()
+                with pytest.warns(RuntimeWarning, match="beam shard"):
+                    plan = deco.schedule(wf, "medium")
+            finally:
+                deco.close()
+        assert plan.decision_dict() == reference
+
+
+def compile_small(num_samples=48, seed=3):
+    wf = montage(degrees=1, seed=2)
+    fast = sum(MODEL.mean(wf.task(t), "m1.xlarge") for t in wf.task_ids)
+    slow = sum(MODEL.mean(wf.task(t), "m1.small") for t in wf.task_ids)
+    return CompiledProblem.compile(
+        wf, CATALOG, deadline=0.5 * (fast + slow), percentile=90.0,
+        num_samples=num_samples, seed=seed, runtime_model=MODEL,
+    )
+
+
+PROBLEM = compile_small()
+BATCH = [
+    PlanState(np.random.default_rng(i).integers(0, PROBLEM.num_types, PROBLEM.num_tasks))
+    for i in range(12)
+]
+
+
+@given(st.integers(min_value=1, max_value=12), st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=20, deadline=None)
+def test_partitioned_evaluation_matches_whole_batch(chunks, salt):
+    """The sharding lemma: evaluating any chunking of a candidate batch
+    on *fresh* backends (one per shard) and concatenating reproduces the
+    whole-batch evaluation exactly -- per-state kernel values are
+    independent of batch composition and cache temperature."""
+    rng = random.Random(salt)
+    batch = list(BATCH)
+    rng.shuffle(batch)
+    whole = VectorizedBackend().evaluate_batch(PROBLEM, batch)
+    pieces = []
+    for chunk in chunk_evenly(batch, chunks):
+        pieces.extend(VectorizedBackend().evaluate_batch(PROBLEM, chunk))
+    assert pieces == whole
+
+
+def test_frontier_merge_deterministic_in_partition():
+    """Concatenating per-chunk evaluations in shard order, for any shard
+    count, feeds the parent the same (state, eval) pairs -- so the merge
+    is a function of the candidate set, not of the partition."""
+    evals = {s.key: e for s, e in zip(BATCH, VectorizedBackend().evaluate_batch(PROBLEM, BATCH))}
+    reference = None
+    for chunks in (1, 2, 3, 5, 12):
+        merged = []
+        for chunk in chunk_evenly(BATCH, chunks):
+            merged.extend((s, evals[s.key]) for s in chunk)
+        ranked = sorted(merged, key=GenericSearch._frontier_key)
+        if reference is None:
+            reference = ranked
+        assert ranked == reference
+
+
+class TestFrontierTieBreak:
+    def test_tied_priorities_sort_by_state_key(self):
+        """Regression (satellite 2): entries with byte-equal priorities
+        used to keep insertion order; the ranking must instead be a pure
+        function of the frontier set."""
+        tie = StateEval(cost=10.0, probability=0.97, feasible=True, mean_makespan=50.0)
+        states = [PlanState(np.full(4, t, dtype=np.int64)) for t in range(6)]
+        entries = [(s, tie) for s in states]
+        rng = random.Random(0)
+        orders = []
+        for _ in range(5):
+            shuffled = list(entries)
+            rng.shuffle(shuffled)
+            orders.append(sorted(shuffled, key=GenericSearch._frontier_key))
+        assert all(order == orders[0] for order in orders)
+        assert [s.key for s, _ in orders[0]] == sorted(s.key for s in states)
+
+    def test_priority_still_dominates_key(self):
+        cheap = StateEval(cost=1.0, probability=0.99, feasible=True, mean_makespan=10.0)
+        dear = StateEval(cost=2.0, probability=0.99, feasible=True, mean_makespan=10.0)
+        a = PlanState(np.full(4, 9, dtype=np.int64))   # big key bytes
+        b = PlanState(np.zeros(4, dtype=np.int64))     # small key bytes
+        ranked = sorted([(a, cheap), (b, dear)], key=GenericSearch._frontier_key)
+        assert ranked[0][0] is a  # cheaper wins despite larger key

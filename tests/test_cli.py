@@ -78,6 +78,29 @@ class TestSchedule:
         assert code == 0
         assert "measured (10 runs)" in text
 
+    def test_workers_flag_matches_serial_plan(self):
+        import warnings
+
+        args = ["schedule", "--app", "montage", "--degrees", "1",
+                "--samples", "40", "--evals", "150"]
+        code_serial, serial = run_cli(args)
+        with warnings.catch_warnings():
+            # Advisory oversubscription warning on small CI hosts.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            code, sharded = run_cli(args + ["--workers", "2"])
+        assert code == code_serial == 0
+        assert "workers:         2 beam shards" in sharded
+        assert "speculative expansions" in sharded
+        # Every decision line (cost, mix, probability) is byte-identical;
+        # only the workers line and the wall-clock line may differ.
+        decisions = [
+            line for line in serial.splitlines()
+            if line.split(":")[0].strip()
+            in ("deadline", "feasible", "P(mk <= D)", "expected cost", "instance mix")
+        ]
+        for line in decisions:
+            assert line in sharded
+
 
 class TestScheduleValidation:
     def test_missing_dax_path(self):
