@@ -1,0 +1,223 @@
+"""Service-layer benchmark: latency, throughput, cache, crash recovery.
+
+Produces the repo's ``BENCH_service.json``.  Four sections, all
+measured against a real in-process :class:`~repro.service.DecoService`
+(journal on disk, warm worker processes, background dispatcher):
+
+* ``latency`` -- submit-to-terminal wall-clock over a batch of distinct
+  solve jobs: p50/p99/mean and drain throughput (jobs/s);
+* ``cache`` -- the same batch resubmitted: hit rate and hit latency
+  (a hit is served at submission, no solver work);
+* ``degradation`` -- a burst past ``degrade_depth`` with the dispatcher
+  paused: how many jobs the ladder downgraded to the analytic backend
+  instead of rejecting;
+* ``recovery`` -- one job SIGKILL'd mid-solve: wall-clock from the kill
+  to the job's terminal state (respawn + retry + full re-solve), plus
+  the terminal state reached (must be ``completed``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import time
+import warnings
+from pathlib import Path
+
+from repro.bench.harness import BenchConfig
+from repro.bench.perf import _git_provenance
+from repro.parallel.executor import host_cpu_count
+from repro.service import DecoService, ServiceConfig
+
+__all__ = ["bench_service", "write_bench_service_json"]
+
+
+def _engine_overrides(config: BenchConfig) -> dict:
+    return {
+        "seed": config.seed,
+        "num_samples": config.num_samples,
+        "max_evaluations": config.max_evaluations,
+    }
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile; [] -> 0.0 (tiny n makes p99 = max)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, round(q / 100.0 * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+def _payload(seed: int, degrees: float = 1.0) -> dict:
+    return {
+        "workflow": {"app": "montage", "degrees": degrees, "seed": seed},
+        "deadline": "medium",
+        "percentile": 96.0,
+    }
+
+
+def _drain(service: DecoService, timeout_s: float) -> None:
+    service.run_until_idle(timeout_s=timeout_s)
+
+
+def bench_service(
+    config: BenchConfig | None = None,
+    *,
+    jobs: int = 8,
+    workers: int = 2,
+    journal_dir: str | None = None,
+) -> dict:
+    """Measure the service sections; returns the rows/summary dict."""
+    import tempfile
+
+    config = config or BenchConfig()
+    tmp = journal_dir or tempfile.mkdtemp(prefix="deco-bench-service-")
+    results: dict = {"jobs": jobs, "workers": workers}
+
+    # -- latency + throughput + cache (one service, shared journal) --------
+    svc_config = ServiceConfig(
+        journal_path=os.path.join(tmp, "bench-latency.jsonl"),
+        workers=workers,
+        degrade_depth=max(jobs + 2, 8),   # no shedding in this section
+        reject_depth=max(2 * jobs + 4, 16),
+        tenant_rate=1000.0,
+        tenant_burst=1000.0,
+        engine=_engine_overrides(config),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with DecoService(svc_config) as service:
+            t0 = time.monotonic()
+            submitted = [
+                service.submit(_payload(seed)).job_id for seed in range(jobs)
+            ]
+            _drain(service, timeout_s=900.0)
+            drain_s = time.monotonic() - t0
+            latencies = sorted(
+                service.queue.get(job_id).latency_s() or 0.0 for job_id in submitted
+            )
+            states = [service.queue.get(job_id).state for job_id in submitted]
+            results["latency"] = {
+                "p50_s": round(_percentile(latencies, 50), 6),
+                "p99_s": round(_percentile(latencies, 99), 6),
+                "mean_s": round(sum(latencies) / len(latencies), 6),
+                "drain_s": round(drain_s, 6),
+                "throughput_jobs_per_s": round(jobs / drain_s, 6),
+                "all_completed": all(s == "completed" for s in states),
+            }
+
+            # Cache: identical resubmission -> served at submit time.
+            t0 = time.monotonic()
+            hits = [service.submit(_payload(seed)) for seed in range(jobs)]
+            hit_s = time.monotonic() - t0
+            results["cache"] = {
+                **service.cache.stats(),
+                "all_hits": all(job.cache_hit for job in hits),
+                "hit_batch_s": round(hit_s, 6),
+            }
+
+    # -- degradation ladder ------------------------------------------------
+    shed_config = ServiceConfig(
+        journal_path=os.path.join(tmp, "bench-shed.jsonl"),
+        workers=workers,
+        degrade_depth=2,
+        reject_depth=jobs + 4,
+        tenant_rate=1000.0,
+        tenant_burst=1000.0,
+        engine=_engine_overrides(config),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with DecoService(shed_config) as service:
+            # Dispatcher not started: the whole burst lands on the queue,
+            # so every job past degrade_depth is downgraded at admission.
+            burst = [service.submit(_payload(100 + i)) for i in range(jobs)]
+            degraded_n = sum(1 for job in burst if job.degraded)
+            _drain(service, timeout_s=900.0)
+            terminal = [service.queue.get(job.job_id).state for job in burst]
+            results["degradation"] = {
+                "burst": jobs,
+                "degrade_depth": 2,
+                "degraded_jobs": degraded_n,
+                "terminal_states": sorted(set(terminal)),
+                "all_terminal": all(
+                    s in ("completed", "degraded") for s in terminal
+                ),
+            }
+
+    # -- crash recovery ----------------------------------------------------
+    recovery_config = ServiceConfig(
+        journal_path=os.path.join(tmp, "bench-recovery.jsonl"),
+        workers=workers,
+        max_attempts=3,
+        backoff_base_s=0.05,
+        tenant_rate=1000.0,
+        tenant_burst=1000.0,
+        engine=_engine_overrides(config),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with DecoService(recovery_config) as service:
+            job = service.submit(_payload(7, degrees=2.0))
+            # Step until the job is actually on a worker, then kill it.
+            t_wait = time.monotonic() + 120.0
+            pid = None
+            while time.monotonic() < t_wait:
+                service.step()
+                active = service.pool.active()
+                if active:
+                    pid = service.pool.worker_pids()[active[0].slot]
+                    if pid is not None:
+                        break
+                time.sleep(0.01)
+            if pid is None:
+                raise RuntimeError("recovery bench: job never reached a worker")
+            os.kill(pid, signal.SIGKILL)
+            t_kill = time.monotonic()
+            _drain(service, timeout_s=900.0)
+            record = service.queue.get(job.job_id)
+            results["recovery"] = {
+                "killed_pid": pid,
+                "recovery_s": round(time.monotonic() - t_kill, 6),
+                "terminal_state": record.state,
+                "attempts": record.attempts,
+                "worker_respawns": service.pool.respawns,
+                "recovered": record.state == "completed",
+            }
+    return results
+
+
+def write_bench_service_json(
+    path: str | Path,
+    config: BenchConfig | None = None,
+    *,
+    jobs: int = 8,
+    workers: int = 2,
+    results: dict | None = None,
+) -> dict:
+    """Write the machine-readable service benchmark (``BENCH_service.json``).
+
+    The headline numbers are ``latency.p50_s`` / ``latency.p99_s``,
+    ``cache.hit_rate`` and ``recovery.recovery_s``; ``ok`` aggregates
+    the section health flags (everything terminal, cache all-hit, the
+    killed job recovered).
+    """
+    config = config or BenchConfig()
+    if results is None:
+        results = bench_service(config, jobs=jobs, workers=workers)
+    payload = {
+        "benchmark": "service",
+        "unit": "s",
+        **_git_provenance(),
+        "host_cpu_count": host_cpu_count(),
+        **results,
+        "ok": bool(
+            results["latency"]["all_completed"]
+            and results["cache"]["all_hits"]
+            and results["degradation"]["all_terminal"]
+            and results["recovery"]["recovered"]
+        ),
+    }
+    Path(path).write_text(json.dumps(payload, indent=2, default=float) + "\n")
+    return payload

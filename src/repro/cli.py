@@ -156,6 +156,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--no-dominance-mask", action="store_true",
                        help="disable the dominance analysis (futile-promote "
                             "settling); plans are identical either way")
+    sched.add_argument("--solve-deadline", type=float, default=None, metavar="SECONDS",
+                       help="wall-clock watchdog for the solve: return the best "
+                            "incumbent (timed_out flagged) instead of running the "
+                            "evaluation budget dry")
     sched.add_argument("--execute", action="store_true",
                        help="also execute the plan on the simulator")
     sched.add_argument("--workers", default=None, metavar="N", help=workers_help)
@@ -168,8 +172,59 @@ def _build_parser() -> argparse.ArgumentParser:
     sched.add_argument("--on-abort", default="record", metavar="MODE",
                        help="raise|skip|record for aborted --execute runs")
 
+    serve = sub.add_parser("serve", help="run the Deco job service (HTTP JSON API)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+    serve.add_argument("--journal", default="deco-jobs.jsonl", metavar="PATH",
+                       help="write-ahead job journal (replayed on startup)")
+    serve.add_argument("--workers", default=None, metavar="N",
+                       help="warm solver worker processes (default: 2)")
+    serve.add_argument("--seed", type=int, default=7)
+    serve.add_argument("--samples", type=int, default=150,
+                       help="Monte Carlo samples per state (worker engines)")
+    serve.add_argument("--evals", type=int, default=1500,
+                       help="search evaluation budget (worker engines)")
+    serve.add_argument("--degrade-depth", type=int, default=8, metavar="N",
+                       help="queue depth at which new jobs are load-shed to "
+                            "the analytic backend")
+    serve.add_argument("--reject-depth", type=int, default=16, metavar="N",
+                       help="queue depth at which new jobs are refused (429)")
+    serve.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                       help="crash retries per job before dead-lettering")
+    serve.add_argument("--hang-after", type=float, default=600.0, metavar="SECONDS",
+                       help="kill and retry a job running longer than this")
+
+    submit = sub.add_parser("submit", help="submit a solve job to a running service")
+    submit.add_argument("--url", default="http://127.0.0.1:8642",
+                        help="service base URL (see 'repro serve')")
+    submit.add_argument("--app", choices=("montage", "ligo", "epigenomics", "cybershake"),
+                        default="montage")
+    submit.add_argument("--dax", default=None, metavar="PATH",
+                        help="submit a DAX workflow file instead of a generated --app")
+    submit.add_argument("--degrees", type=float, default=1.0, help="montage mosaic size")
+    submit.add_argument("--tasks", type=int, default=100,
+                        help="task count for non-montage apps")
+    submit.add_argument("--seed", type=int, default=7)
+    submit.add_argument("--deadline", default="medium",
+                        help="tight|medium|loose or seconds")
+    submit.add_argument("--percentile", type=float, default=96.0)
+    submit.add_argument("--backend", default="gpu", metavar="NAME",
+                        help="requested evaluation backend (gpu|cpu|analytic); "
+                             "the service may downgrade to analytic under load")
+    submit.add_argument("--wlog", default=None, metavar="PATH",
+                        help="WLog program file to solve against the workflow")
+    submit.add_argument("--solve-deadline", type=float, default=None, metavar="SECONDS",
+                        help="wall-clock solve watchdog for this job")
+    submit.add_argument("--priority", choices=("interactive", "standard", "batch"),
+                        default="standard")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--wait", action="store_true",
+                        help="poll until the job is terminal and print the result")
+    submit.add_argument("--timeout", type=float, default=600.0, metavar="SECONDS",
+                        help="how long --wait polls before giving up")
+
     bench = sub.add_parser("bench", help="emit machine-readable benchmark JSON")
-    bench.add_argument("target", choices=("parallel", "solver", "faults"),
+    bench.add_argument("target", choices=("parallel", "solver", "faults", "service"),
                        help="which benchmark to run")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="output path (default: BENCH_<target>.json)")
@@ -200,6 +255,9 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-dominance-mask", action="store_true",
                        help="skip the dominance-mask section of the solver "
                             "bench (and its on/off plan-identity gate)")
+    bench.add_argument("--jobs", type=int, default=8,
+                       help="batch size for the service bench's latency/cache "
+                            "sections")
 
     lint = sub.add_parser("lint", help="statically analyze WLog program files")
     analyze = sub.add_parser(
@@ -328,6 +386,10 @@ def _cmd_schedule(args, out) -> int:
             out,
             f"--backend must be one of {'|'.join(BACKEND_NAMES)}, got {args.backend!r}",
         )
+    if args.solve_deadline is not None and not args.solve_deadline > 0:
+        return _usage_error(
+            out, f"--solve-deadline must be > 0 seconds, got {args.solve_deadline:g}"
+        )
     workers = _workers_arg(args)
     faults = recovery = None
     if args.faults:
@@ -357,7 +419,8 @@ def _cmd_schedule(args, out) -> int:
                 incremental=not args.no_incremental,
                 analytic_screen=not args.no_analytic_screen,
                 dominance_mask=not args.no_dominance_mask,
-                workers=workers)
+                workers=workers,
+                solve_deadline_s=args.solve_deadline)
     try:
         deadline: float | str = float(args.deadline)
     except ValueError:
@@ -387,6 +450,9 @@ def _cmd_schedule(args, out) -> int:
     if faults is not None:
         print(f"fault model:     {faults.describe()}", file=out)
     print(f"deadline:        {plan.deadline:.0f} s @ {plan.deadline_percentile:.1f}%", file=out)
+    if plan.timed_out:
+        print(f"timed out:       best incumbent at the {args.solve_deadline:g} s "
+              "solve watchdog (not converged)", file=out)
     print(f"feasible:        {plan.feasible}", file=out)
     print(f"P(mk <= D):      {plan.probability:.3f}", file=out)
     print(f"expected cost:   ${plan.expected_cost:.4f}", file=out)
@@ -596,6 +662,27 @@ def _cmd_bench(args, out) -> int:
             file=out,
         )
         return 0 if payload["identical"] else 1
+    if args.target == "service":
+        from repro.bench.service import write_bench_service_json
+
+        path = Path(args.out or "BENCH_service.json")
+        payload = write_bench_service_json(
+            path, config, jobs=args.jobs, workers=(workers or 2)
+        )
+        lat = payload["latency"]
+        print(
+            f"service bench: {payload['jobs']} jobs on {payload['workers']} workers\n"
+            f"  latency p50={lat['p50_s']:.3f}s p99={lat['p99_s']:.3f}s "
+            f"throughput={lat['throughput_jobs_per_s']:.2f} jobs/s\n"
+            f"  cache hit rate={payload['cache']['hit_rate']:.2f} "
+            f"degraded={payload['degradation']['degraded_jobs']}/"
+            f"{payload['degradation']['burst']}\n"
+            f"  recovery after SIGKILL={payload['recovery']['recovery_s']:.3f}s "
+            f"(state={payload['recovery']['terminal_state']})",
+            file=out,
+        )
+        print(f"\nwrote {path} (ok={payload['ok']})", file=out)
+        return 0 if payload["ok"] else 1
     if args.target == "faults":
         from repro.bench.faults import bench_faults, write_bench_faults_json
 
@@ -728,6 +815,127 @@ def _cmd_bench(args, out) -> int:
     return 0 if identical and within_bound else 1
 
 
+def _cmd_serve(args, out) -> int:
+    workers = _workers_arg(args)
+    for name, value in (("--degrade-depth", args.degrade_depth),
+                        ("--reject-depth", args.reject_depth),
+                        ("--max-attempts", args.max_attempts)):
+        if value < 1:
+            return _usage_error(out, f"{name} must be >= 1, got {value}")
+    if args.hang_after <= 0:
+        return _usage_error(out, f"--hang-after must be > 0, got {args.hang_after}")
+    from repro.service import DecoService, ServiceConfig
+    from repro.service.http import ServiceServer
+
+    config = ServiceConfig(
+        journal_path=args.journal,
+        workers=workers or 2,
+        degrade_depth=args.degrade_depth,
+        reject_depth=args.reject_depth,
+        max_attempts=args.max_attempts,
+        hang_after_s=args.hang_after,
+        engine={
+            "seed": args.seed,
+            "num_samples": args.samples,
+            "max_evaluations": args.evals,
+        },
+    )
+    service = DecoService(config)
+    recovered = service.queue.recovered_inflight
+    server = ServiceServer(service, host=args.host, port=args.port)
+    print(f"deco service listening on {server.url}", file=out)
+    print(f"journal: {args.journal} "
+          f"({len(service.queue.jobs())} jobs replayed, "
+          f"{recovered} in-flight re-queued)", file=out)
+    out.flush()
+    server.serve_forever()
+    return 0
+
+
+def _cmd_submit(args, out) -> int:
+    if args.backend not in ("gpu", "cpu", "analytic"):
+        return _usage_error(
+            out, f"--backend must be gpu|cpu|analytic, got {args.backend!r}"
+        )
+    if args.solve_deadline is not None and args.solve_deadline <= 0:
+        return _usage_error(
+            out, f"--solve-deadline must be > 0 seconds, got {args.solve_deadline:g}"
+        )
+    from repro.service.http import ServiceClient
+
+    if args.dax:
+        workflow: dict = {"dax": args.dax}
+    elif args.app == "montage":
+        workflow = {"app": "montage", "degrees": args.degrees, "seed": args.seed}
+    else:
+        workflow = {"app": args.app, "tasks": args.tasks, "seed": args.seed}
+    payload: dict = {
+        "workflow": workflow,
+        "deadline": _parse_deadline_arg(args.deadline),
+        "percentile": args.percentile,
+        "backend": args.backend,
+    }
+    if args.solve_deadline is not None:
+        payload["solve_deadline_s"] = args.solve_deadline
+    if args.wlog:
+        path = Path(args.wlog)
+        if not path.exists():
+            return _usage_error(out, f"WLog program not found: {args.wlog}")
+        payload["wlog"] = path.read_text()
+    client = ServiceClient(args.url)
+    try:
+        code, doc = client.submit(payload, tenant=args.tenant, priority=args.priority)
+    except OSError as exc:
+        print(f"error: cannot reach service at {args.url}: {exc}", file=out)
+        return 2
+    if code == 429:
+        print(f"rejected: {doc.get('error')} "
+              f"(retry after {doc.get('retry_after_s')}s)", file=out)
+        return 1
+    if code not in (200, 202):
+        print(f"error: service returned {code}: {doc.get('error')}", file=out)
+        return 2
+    job_id = doc["job_id"]
+    print(f"job accepted: {job_id}", file=out)
+    if not args.wait:
+        print(f"poll with: GET {args.url}/v1/jobs/{job_id}", file=out)
+        return 0
+    try:
+        status = client.wait(job_id, timeout_s=args.timeout)
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=out)
+        return 1
+    state = status["state"]
+    print(f"state: {state}", file=out)
+    if status.get("degraded"):
+        print(f"degraded: {status.get('degrade_reason')} "
+              "(best-effort result, see probability_error_bound)", file=out)
+    if status.get("cache_hit"):
+        print("served from plan cache", file=out)
+    result = status.get("result") or {}
+    plan = result.get("plan") or {}
+    if plan:
+        print(f"expected cost: ${plan['expected_cost']:.4f}  "
+              f"P(deadline): {plan['probability']:.3f}  "
+              f"feasible: {plan['feasible']}", file=out)
+    if state == "dead_lettered":
+        err = status.get("error") or {}
+        print(f"dead-lettered after {err.get('attempts')} attempt(s): "
+              f"{err.get('type')}: {err.get('message')}", file=out)
+        return 1
+    return 0
+
+
+def _parse_deadline_arg(value: str):
+    """``tight|medium|loose`` stay strings; anything else must be seconds."""
+    if value in ("tight", "medium", "loose"):
+        return value
+    try:
+        return float(value)
+    except ValueError:
+        return value  # let server-side validation produce the message
+
+
 def _cmd_calibrate(out) -> int:
     from repro.bench import BenchConfig, format_table, table2_io_distributions
 
@@ -748,6 +956,10 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
             return _cmd_run(args, out)
         if args.command == "schedule":
             return _cmd_schedule(args, out)
+        if args.command == "serve":
+            return _cmd_serve(args, out)
+        if args.command == "submit":
+            return _cmd_submit(args, out)
         if args.command == "bench":
             return _cmd_bench(args, out)
         if args.command == "lint":

@@ -118,6 +118,59 @@ class WLogRuntimeError(WLogError):
     """
 
 
+class ServiceError(DecoError):
+    """The job-service runtime failed (bad journal, unknown job...).
+
+    Every subclass must survive a pickle round-trip with all fields
+    intact -- service exceptions routinely cross process-pool
+    boundaries (worker -> dispatcher) and land in dead-letter records.
+    The parametrized hierarchy test in
+    ``tests/common/test_error_pickling.py`` enforces this: keep extra
+    fields either reconstructible from ``args`` or stored on the
+    instance ``__dict__`` (which :meth:`BaseException.__reduce__`
+    preserves), and give every ``__init__`` parameter after the message
+    a default so ``cls(*args)`` always succeeds.
+    """
+
+
+class JournalCorrupt(ServiceError):
+    """The write-ahead journal has an undecodable record *before* the tail.
+
+    A torn final line is expected after a crash mid-append and is
+    silently dropped on replay; corruption anywhere else means the file
+    was damaged by something other than a crash and replay must not
+    guess.  Carries the journal path and the offending line number.
+    """
+
+    def __init__(self, message: str, path: str = "", line_number: int = 0):
+        self.path = str(path)
+        self.line_number = int(line_number)
+        super().__init__(message)
+
+
+class AdmissionError(ServiceError):
+    """A job submission was refused by admission control.
+
+    Structured backpressure, not a crash: carries the machine-readable
+    ``reason`` (``"queue_full"`` or ``"rate_limited"``) and the
+    ``retry_after_s`` hint after which the submission is expected to be
+    accepted, so clients back off instead of hammering the queue.
+    """
+
+    def __init__(self, message: str, reason: str = "", retry_after_s: float = 0.0):
+        self.reason = str(reason)
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(message)
+
+
+class JobNotFound(ServiceError):
+    """A status/result query named a job id the service has no record of."""
+
+    def __init__(self, message: str, job_id: str = ""):
+        self.job_id = str(job_id)
+        super().__init__(message)
+
+
 class SolverError(DecoError):
     """The search engine failed (bad backend name, malformed state...)."""
 

@@ -89,6 +89,14 @@ class Deco:
         process pools downgrade to in-process evaluation with one
         warning; call :meth:`close` (or use the engine as a context
         manager) to release the worker processes.
+    solve_deadline_s:
+        Default wall-clock budget for every solve (the cooperative
+        watchdog, see :meth:`GenericSearch.solve`): when it expires at
+        an iteration boundary the search returns its best incumbent
+        with ``timed_out=True`` on the plan instead of wedging.  A
+        per-call ``solve_deadline_s`` on :meth:`schedule` overrides it;
+        ``None`` (the default) solves unbounded.  A budget the solve
+        never exhausts leaves plans bit-identical to the unbounded run.
 
     A Deco instance memoizes the compiled problem per workflow
     (deadline/percentile changes derive via
@@ -123,6 +131,7 @@ class Deco:
         analytic_screen: bool = True,
         dominance_mask: bool = True,
         workers: int | None = None,
+        solve_deadline_s: float | None = None,
     ):
         self.catalog = catalog
         self.seed = int(seed)
@@ -134,6 +143,11 @@ class Deco:
         self.incremental = bool(incremental)
         self.analytic_screen = bool(analytic_screen)
         self.dominance_mask = bool(dominance_mask)
+        if solve_deadline_s is not None and solve_deadline_s <= 0:
+            raise ValidationError(
+                f"solve_deadline_s must be > 0 seconds, got {solve_deadline_s!r}"
+            )
+        self.solve_deadline_s = solve_deadline_s
         #: The :class:`SearchResult` of the most recent solve -- counter
         #: introspection for benchmarks and services (not plan content).
         self.last_result: SearchResult | None = None
@@ -199,6 +213,7 @@ class Deco:
             "incremental": self.incremental,
             "analytic_screen": self.analytic_screen,
             "dominance_mask": self.dominance_mask,
+            "solve_deadline_s": self.solve_deadline_s,
         }
 
     @classmethod
@@ -359,6 +374,7 @@ class Deco:
         faults: FaultModel | None = None,
         recovery: RecoveryPolicy | None = None,
         reliability_percentile: float | None = None,
+        solve_deadline_s: float | None = None,
     ) -> ProvisioningPlan:
         """Optimize instance configurations for one workflow.
 
@@ -392,6 +408,11 @@ class Deco:
             problem,
             seeds=tuple(seeds) + self._warm_starts(problem),
             distributor=distributor,
+            solve_deadline_s=(
+                solve_deadline_s
+                if solve_deadline_s is not None
+                else self.solve_deadline_s
+            ),
         )
 
     def _compiled(self, workflow: Workflow, region: str | None) -> CompiledProblem:
@@ -535,6 +556,7 @@ class Deco:
         problem: CompiledProblem,
         seeds: tuple[PlanState, ...] = (),
         distributor=None,
+        solve_deadline_s: float | None = None,
     ) -> ProvisioningPlan:
         t0 = time.perf_counter()
         result = self._search.solve(
@@ -542,6 +564,11 @@ class Deco:
             seeds=seeds,
             op_mask=self._op_mask(problem),
             distributor=distributor,
+            deadline_s=(
+                solve_deadline_s
+                if solve_deadline_s is not None
+                else self.solve_deadline_s
+            ),
         )
         elapsed = time.perf_counter() - t0
         self.last_result = result
@@ -565,4 +592,5 @@ class Deco:
             evaluations=result.evaluations,
             solve_seconds=elapsed,
             backend=self.backend.name,
+            timed_out=result.timed_out,
         )

@@ -37,6 +37,10 @@ class ProvisioningPlan:
     evaluations: int = 0
     solve_seconds: float = 0.0
     backend: str = "gpu"
+    #: The solve watchdog fired: the plan is the best incumbent at the
+    #: wall-clock budget, not the converged search result.  ``False``
+    #: for every unbounded (or in-budget) solve.
+    timed_out: bool = False
 
     def __post_init__(self):
         object.__setattr__(self, "assignment", dict(self.assignment))
@@ -65,10 +69,13 @@ class ProvisioningPlan:
         probability, feasibility, evaluations) but not how long the
         solve took: ``solve_seconds`` is host-speed metadata, and the
         parallel runtime's determinism contract promises byte-identical
-        decision dicts for any worker count.
+        decision dicts for any worker count.  ``timed_out`` is excluded
+        for the same reason -- whether a wall-clock watchdog fired is a
+        property of the host's speed, not of the decision sequence.
         """
         data = asdict(self)
         data.pop("solve_seconds")
+        data.pop("timed_out")
         return data
 
     # Serialization -------------------------------------------------------

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import warnings
+import weakref
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, Sequence, TypeVar
@@ -370,6 +371,34 @@ class ShardPool:
         self._local_init = False
         self._serial = self.workers == 1
         self._closed = False
+        # Interpreter-exit safety net: an abandoned pool (no close(), no
+        # context manager) still shuts its executors down in an orderly
+        # way at garbage collection or interpreter exit.  The callback
+        # deliberately closes over the executor *list* (stable identity,
+        # mutated in place), never over ``self`` -- a self-reference
+        # would keep the pool alive forever.  finalize callbacks run
+        # before concurrent.futures' own atexit join, so teardown never
+        # races the executor management threads.
+        self._finalizer = weakref.finalize(
+            self, ShardPool._shutdown_abandoned, self._executors
+        )
+
+    @staticmethod
+    def _shutdown_abandoned(executors: list) -> None:
+        """Best-effort executor shutdown for pools never close()d.
+
+        Runs at finalization (gc or interpreter exit), where raising
+        would surface as an unraisable-exception warning -- so every
+        failure mode is swallowed: the processes die with the
+        interpreter anyway, this just makes the common path quiet.
+        """
+        for i, executor in enumerate(executors):
+            executors[i] = None
+            if executor is not None:
+                try:
+                    executor.shutdown(wait=False, cancel_futures=True)
+                except Exception:
+                    pass
 
     @property
     def is_serial(self) -> bool:
@@ -429,7 +458,13 @@ class ShardPool:
         self._executors[shard] = None
         self._shard_versions[shard] = -1
         if executor is not None:
-            executor.shutdown(wait=False, cancel_futures=True)
+            try:
+                executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:
+                # Shutting down an already-broken executor (dead worker,
+                # interpreter teardown) must never mask the incident
+                # being handled -- the processes are reaped regardless.
+                pass
 
     # Public API -------------------------------------------------------
 
@@ -516,13 +551,38 @@ class ShardPool:
         """Barrier convenience: ``payloads[i]`` on shard ``i``, gathered."""
         return self.gather([self.submit(i, fn, p) for i, p in enumerate(payloads)])
 
+    def respawn(self, shard: int) -> None:
+        """Discard ``shard``'s worker process; the next job respawns it.
+
+        The public face of crash handling for layers above the beam
+        solve (the service worker pool): after killing or losing a
+        worker, call this and the next :meth:`submit` to the shard
+        creates a fresh process and replays the current prologue.
+        """
+        self._discard(shard % self.workers)
+
+    def worker_pids(self) -> list[int | None]:
+        """OS pid of each shard's live worker process (``None`` if down).
+
+        Liveness probes and chaos tooling (kill a worker mid-solve by
+        pid) need the real process identity; a shard whose executor is
+        not spawned yet, was discarded, or runs in the serial fallback
+        reports ``None``.
+        """
+        pids: list[int | None] = []
+        for executor in self._executors:
+            procs = getattr(executor, "_processes", None) or {}
+            alive = [p.pid for p in procs.values() if p.is_alive()]
+            pids.append(alive[0] if alive else None)
+        return pids
+
     def close_executors(self) -> None:
         """Shut down every worker process (the pool stays usable serially)."""
         for shard in range(self.workers):
             self._discard(shard)
 
     def close(self) -> None:
-        """Shut down the pool for good (idempotent)."""
+        """Shut down the pool for good (idempotent and re-entrant)."""
         self.close_executors()
         self._closed = True
 

@@ -1,0 +1,217 @@
+"""Append-only write-ahead journal for the job service.
+
+The journal is the service's only durable state: one JSONL file, one
+event per line, appended with ``write + flush + fsync`` so an event
+acknowledged to a client survives a process crash.  Recovery is pure
+replay -- fold the events in order and the final per-job states fall
+out.  There is no compaction or in-place mutation; a fresh service
+pointed at an old journal reconstructs every job it ever accepted.
+
+Event shape::
+
+    {"event": "submitted" | "started" | "requeued" | "completed"
+              | "degraded" | "dead_lettered",
+     "ts": <wall clock>, "job": {...full JobRecord...}}       # submitted
+    {"event": ..., "ts": ..., "job_id": ..., ...delta fields}  # the rest
+
+Crash tolerance contract (enforced by :func:`replay`):
+
+* a **torn final line** (no trailing newline, or undecodable JSON) is
+  what a crash mid-append leaves behind -- it is dropped with a
+  :class:`RuntimeWarning` and replay proceeds;
+* an undecodable line anywhere **before** the tail cannot be explained
+  by a crash and raises :class:`~repro.common.errors.JournalCorrupt`
+  rather than silently losing accepted jobs.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import threading
+import warnings
+import weakref
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.common.errors import JournalCorrupt, ValidationError
+
+from .jobs import TERMINAL_STATES, JobRecord
+
+__all__ = ["JobJournal", "replay_events", "fold_events"]
+
+#: Events that carry a full job record (vs. a job_id + delta).
+_FULL_RECORD_EVENTS = frozenset({"submitted"})
+
+_EVENTS = frozenset(
+    {"submitted", "started", "requeued", "completed", "degraded", "dead_lettered"}
+)
+
+#: event name -> terminal job state it commits (identity mapping today,
+#: kept explicit so the exactly-once check reads off the journal alone).
+TERMINAL_EVENTS = {state: state for state in TERMINAL_STATES}
+
+
+def _close_quiet(fh) -> None:
+    """Finalizer: close an abandoned journal handle without raising."""
+    try:
+        if not fh.closed:
+            fh.close()
+    except Exception:
+        pass
+
+
+class JobJournal:
+    """Durable append-only event log with crash-consistent appends."""
+
+    def __init__(self, path: str | os.PathLike):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fh: io.TextIOWrapper | None = None
+        self.appends = 0
+
+    # -- writing -----------------------------------------------------------
+
+    def _handle(self) -> io.TextIOWrapper:
+        if self._fh is None or self._fh.closed:
+            self._fh = open(self.path, "a", encoding="utf-8")
+            # Interpreter-exit safety: a journal abandoned without
+            # close() must not leak its handle (ResourceWarning) at
+            # teardown.  The callback closes over the handle, not self.
+            weakref.finalize(self, _close_quiet, self._fh)
+        return self._fh
+
+    def append(self, event: str, **fields: Any) -> dict:
+        """Durably append one event; returns the record as written.
+
+        The record only counts as accepted once ``fsync`` returns: the
+        service acknowledges a submission to the client strictly after
+        this call, which is what makes "accepted jobs survive crashes"
+        true rather than probabilistic.
+        """
+        if event not in _EVENTS:
+            raise ValidationError(f"unknown journal event {event!r}")
+        record = {"event": event, **fields}
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        if "\n" in line:  # defense in depth; json.dumps never emits newlines
+            raise ValidationError("journal records must be single-line JSON")
+        with self._lock:
+            fh = self._handle()
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+            self.appends += 1
+        return record
+
+    def close(self) -> None:
+        """Idempotent: safe to call twice or on a never-written journal."""
+        with self._lock:
+            if self._fh is not None and not self._fh.closed:
+                self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Reconstruct per-job state from the journal (see :func:`fold_events`)."""
+        return fold_events(replay_events(self.path))
+
+
+def replay_events(path: str | os.PathLike) -> Iterator[dict]:
+    """Yield journal events in append order, tolerating only a torn tail."""
+    path = Path(path)
+    if not path.exists():
+        return
+    raw = path.read_bytes()
+    if not raw:
+        return
+    lines = raw.split(b"\n")
+    # A complete journal ends with a newline, so the final split element
+    # is empty; anything else is a torn tail candidate.
+    torn_tail_possible = lines[-1] != b""
+    if lines[-1] == b"":
+        lines.pop()
+    last = len(lines) - 1
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+            if not isinstance(record, dict) or "event" not in record:
+                raise ValueError("journal record is not an event object")
+        except ValueError as exc:
+            if i == last and torn_tail_possible:
+                warnings.warn(
+                    f"journal {path}: dropping torn final record "
+                    f"(crash mid-append): {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                return
+            raise JournalCorrupt(
+                f"journal {path} is corrupt at line {i + 1} "
+                f"(not the tail, so not a torn append): {exc}",
+                path=str(path),
+                line_number=i + 1,
+            ) from exc
+        yield record
+
+
+def fold_events(events: Iterator[dict]) -> dict[str, JobRecord]:
+    """Fold an event stream into final job states.
+
+    Enforces the exactly-once terminal invariant structurally: a second
+    terminal event for the same job id raises :class:`JournalCorrupt`,
+    because a correct service can never write one.  Jobs whose last
+    event leaves them ``running`` were in flight when the process died;
+    the fold re-queues them so replay never strands an accepted job.
+    """
+    jobs: dict[str, JobRecord] = {}
+    for record in events:
+        event = record["event"]
+        if event in _FULL_RECORD_EVENTS:
+            job = JobRecord.from_dict(record["job"])
+            jobs[job.job_id] = job
+            continue
+        job_id = record.get("job_id", "")
+        job = jobs.get(job_id)
+        if job is None:
+            raise JournalCorrupt(
+                f"journal event {event!r} references unknown job {job_id!r} "
+                "(no prior 'submitted' record)"
+            )
+        if job.terminal:
+            raise JournalCorrupt(
+                f"job {job_id} received {event!r} after already reaching "
+                f"terminal state {job.state!r} -- exactly-once violated"
+            )
+        if event == "started":
+            job.state = "running"
+            job.started_at = record.get("ts", 0.0)
+            job.attempts = record.get("attempts", job.attempts + 1)
+        elif event == "requeued":
+            job.state = "queued"
+        elif event in TERMINAL_EVENTS:
+            job.state = TERMINAL_EVENTS[event]
+            job.finished_at = record.get("ts", 0.0)
+            job.degraded = record.get("degraded", job.degraded)
+            job.degrade_reason = record.get("degrade_reason", job.degrade_reason)
+            job.cache_hit = record.get("cache_hit", job.cache_hit)
+            if "result" in record:
+                job.result = record["result"]
+            if "error" in record:
+                job.error = record["error"]
+    for job in jobs.values():
+        if job.state == "running":
+            # In flight at crash time: give it back to the queue.  The
+            # attempt that died still counts against the budget.
+            job.state = "queued"
+    return jobs

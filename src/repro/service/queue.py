@@ -1,0 +1,309 @@
+"""Durable priority queue with admission control.
+
+:class:`DurableQueue` pairs the in-memory dispatch structures (priority
+heaps, backoff timers) with the write-ahead :class:`~.journal.JobJournal`:
+every state transition is journaled *before* it takes effect in memory,
+so a crash at any instant leaves a journal whose replay reconstructs a
+queue that owes clients exactly what the dead process owed them.
+
+Admission control lives here too:
+
+* **bounded depth** -- beyond ``reject_depth`` pending jobs the queue
+  refuses new work with a structured retry-after;
+* **per-tenant token buckets** -- a tenant submitting faster than its
+  refill rate is rate-limited without affecting other tenants.
+
+The load-shedding *ladder* (degrade before reject) is runtime policy and
+lives in :mod:`repro.service.runtime`; the queue only exposes the
+measurements (``depth``) and the hard backstop (``reject_depth``).
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from typing import Any, Callable
+
+from repro.common.errors import AdmissionError, JobNotFound, ServiceError, ValidationError
+
+from .jobs import JobRecord, new_job_id, validate_payload
+from .journal import JobJournal
+
+__all__ = ["TokenBucket", "DurableQueue"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/s, bursting to ``capacity``."""
+
+    def __init__(self, rate: float, capacity: float, *, clock: Callable[[], float] = time.monotonic):
+        if rate <= 0 or capacity <= 0:
+            raise ValidationError(f"token bucket needs rate > 0 and capacity > 0, got {rate}, {capacity}")
+        self.rate = float(rate)
+        self.capacity = float(capacity)
+        self._clock = clock
+        self._tokens = self.capacity
+        self._stamp = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(self.capacity, self._tokens + (now - self._stamp) * self.rate)
+        self._stamp = now
+
+    def try_take(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available; returns 0.0 on success, else the
+        seconds to wait until the bucket could satisfy the request."""
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.rate
+
+
+class DurableQueue:
+    """Journal-backed priority queue of :class:`JobRecord`\\ s."""
+
+    def __init__(
+        self,
+        journal: JobJournal,
+        *,
+        reject_depth: int = 64,
+        tenant_rate: float = 10.0,
+        tenant_burst: float = 20.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if reject_depth < 1:
+            raise ValidationError(f"reject_depth must be >= 1, got {reject_depth}")
+        self.journal = journal
+        self.reject_depth = int(reject_depth)
+        self.tenant_rate = float(tenant_rate)
+        self.tenant_burst = float(tenant_burst)
+        self._clock = clock
+        self._lock = threading.RLock()
+        self._jobs: dict[str, JobRecord] = {}
+        # (priority_rank, sequence, job_id); sequence keeps FIFO within a class.
+        self._heap: list[tuple[int, int, str]] = []
+        self._seq = 0
+        # job_id -> monotonic not-before stamp (exponential backoff after crash).
+        self._not_before: dict[str, float] = {}
+        self._buckets: dict[str, TokenBucket] = {}
+        self.rejected = 0
+        self.rate_limited = 0
+        self._recover()
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover(self) -> None:
+        """Replay the journal: terminal jobs keep their results, non-terminal
+        jobs (queued, or running when the process died) re-enter the heap."""
+        self.recovered_inflight = 0
+        for job in self.journal.replay().values():
+            self._jobs[job.job_id] = job
+            if not job.terminal:
+                if job.attempts:
+                    self.recovered_inflight += 1
+                self._push(job)
+
+    # -- internals ---------------------------------------------------------
+
+    def _push(self, job: JobRecord) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (job.priority_rank, self._seq, job.job_id))
+
+    def _bucket(self, tenant: str) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = self._buckets[tenant] = TokenBucket(
+                self.tenant_rate, self.tenant_burst, clock=self._clock
+            )
+        return bucket
+
+    # -- admission + submission --------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Jobs accepted but not yet terminal (queued + running)."""
+        with self._lock:
+            return sum(1 for j in self._jobs.values() if not j.terminal)
+
+    def admit(self, tenant: str) -> None:
+        """Raise :class:`AdmissionError` if this submission must be refused.
+
+        Checked *before* anything is journaled: a rejected job was never
+        accepted, so the exactly-once-terminal invariant does not apply
+        to it.
+        """
+        with self._lock:
+            if self.depth >= self.reject_depth:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"queue full ({self.depth} jobs in flight, limit {self.reject_depth}); "
+                    "retry later",
+                    reason="queue_full",
+                    retry_after_s=5.0,
+                )
+            wait = self._bucket(tenant).try_take()
+            if wait > 0.0:
+                self.rate_limited += 1
+                raise AdmissionError(
+                    f"tenant {tenant!r} exceeded {self.tenant_rate:g} submissions/s; "
+                    f"retry in {wait:.2f}s",
+                    reason="rate_limited",
+                    retry_after_s=round(wait, 3),
+                )
+
+    def submit(
+        self,
+        payload: dict,
+        *,
+        tenant: str = "default",
+        priority: str = "standard",
+        degraded: bool = False,
+        degrade_reason: str = "",
+        skip_admission: bool = False,
+    ) -> JobRecord:
+        """Validate, admit, journal, and enqueue one job.
+
+        The journal append happens before the job is visible in memory;
+        once this returns, the job is accepted and will reach a terminal
+        state exactly once even across crashes.  ``skip_admission`` is
+        for submissions that consume no solver capacity (plan-cache
+        hits): they are journaled like any accepted job but bypass the
+        depth/rate gates.
+        """
+        payload = validate_payload(payload)
+        with self._lock:
+            if not skip_admission:
+                self.admit(tenant)
+            job = JobRecord(
+                job_id=new_job_id(),
+                tenant=tenant,
+                priority=priority,
+                payload=payload,
+                submitted_at=time.time(),
+                degraded=degraded,
+                degrade_reason=degrade_reason,
+            )
+            self.journal.append("submitted", ts=job.submitted_at, job=job.to_dict())
+            self._jobs[job.job_id] = job
+            self._push(job)
+            return job
+
+    # -- dispatch ----------------------------------------------------------
+
+    def claim(self) -> JobRecord | None:
+        """Pop the highest-priority dispatchable job and mark it running.
+
+        Jobs under a backoff timer are skipped (left in the heap) until
+        their ``not_before`` stamp passes.  Returns ``None`` when nothing
+        is dispatchable right now.
+        """
+        with self._lock:
+            now = self._clock()
+            deferred: list[tuple[int, int, str]] = []
+            claimed: JobRecord | None = None
+            while self._heap:
+                rank, seq, job_id = heapq.heappop(self._heap)
+                job = self._jobs.get(job_id)
+                if job is None or job.state != "queued":
+                    continue  # stale heap entry (job finished via cache, etc.)
+                if self._not_before.get(job_id, 0.0) > now:
+                    deferred.append((rank, seq, job_id))
+                    continue
+                claimed = job
+                break
+            for entry in deferred:
+                heapq.heappush(self._heap, entry)
+            if claimed is None:
+                return None
+            claimed.attempts += 1
+            claimed.started_at = time.time()
+            claimed.state = "running"
+            self.journal.append(
+                "started", ts=claimed.started_at, job_id=claimed.job_id, attempts=claimed.attempts
+            )
+            return claimed
+
+    def requeue(self, job_id: str, *, backoff_s: float = 0.0) -> None:
+        """Return a crashed job to the queue, optionally after a delay."""
+        with self._lock:
+            job = self._require(job_id)
+            if job.terminal:
+                raise ServiceError(
+                    f"cannot requeue job {job_id}: already terminal ({job.state})"
+                )
+            self.journal.append("requeued", ts=time.time(), job_id=job_id, backoff_s=backoff_s)
+            job.state = "queued"
+            if backoff_s > 0.0:
+                self._not_before[job_id] = self._clock() + backoff_s
+            self._push(job)
+
+    def finish(
+        self,
+        job_id: str,
+        state: str,
+        *,
+        result: dict | None = None,
+        error: dict | None = None,
+        degraded: bool | None = None,
+        degrade_reason: str | None = None,
+        cache_hit: bool = False,
+    ) -> JobRecord:
+        """Commit a job's single terminal transition.
+
+        Raises :class:`ServiceError` on a second terminal attempt -- the
+        in-memory guard mirrors the journal-replay invariant so the bug
+        is caught at the source, not at the next restart.
+        """
+        with self._lock:
+            job = self._require(job_id)
+            if job.terminal:
+                raise ServiceError(
+                    f"job {job_id} already terminal ({job.state}); "
+                    f"refusing second terminal transition to {state!r}"
+                )
+            extra: dict[str, Any] = {}
+            if degraded is not None:
+                job.degraded = degraded
+                extra["degraded"] = degraded
+            if degrade_reason is not None:
+                job.degrade_reason = degrade_reason
+                extra["degrade_reason"] = degrade_reason
+            if cache_hit:
+                job.cache_hit = True
+                extra["cache_hit"] = True
+            if result is not None:
+                extra["result"] = result
+            if error is not None:
+                extra["error"] = error
+            ts = time.time()
+            self.journal.append(state, ts=ts, job_id=job_id, **extra)
+            job.state = state  # validated by the journal event whitelist
+            job.finished_at = ts
+            job.result = result
+            job.error = error
+            self._not_before.pop(job_id, None)
+            return job
+
+    # -- queries -----------------------------------------------------------
+
+    def _require(self, job_id: str) -> JobRecord:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFound(f"no such job: {job_id}", job_id=job_id)
+        return job
+
+    def get(self, job_id: str) -> JobRecord:
+        with self._lock:
+            return self._require(job_id)
+
+    def jobs(self) -> list[JobRecord]:
+        with self._lock:
+            return list(self._jobs.values())
+
+    def counts(self) -> dict[str, int]:
+        with self._lock:
+            out: dict[str, int] = {}
+            for job in self._jobs.values():
+                out[job.state] = out.get(job.state, 0) + 1
+            return out

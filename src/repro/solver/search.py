@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Hashable, Iterable
 
@@ -35,7 +36,7 @@ import numpy as np
 from scipy.special import ndtr, ndtri
 
 from repro.analysis.dominance import OpMask, futile_offpath_promotes
-from repro.common.errors import SolverError
+from repro.common.errors import SolverError, ValidationError
 from repro.solver.backends import CompiledProblem, EvaluationBackend, VectorizedBackend
 from repro.solver.state import PlanState, StateEval
 
@@ -147,6 +148,11 @@ class SearchResult:
     workers: int = 1             # shard count the solve actually ran with
     speculated: int = 0          # speculative child expansions performed
     speculation_hits: int = 0    # speculations consumed by the next iteration
+    #: The cooperative watchdog fired: the wall-clock budget passed to
+    #: :meth:`GenericSearch.solve` expired at an iteration boundary and
+    #: the search returned its best incumbent instead of running the
+    #: evaluation budget dry.  Always ``False`` on an unbounded solve.
+    timed_out: bool = False
 
     def assignment_names(self, problem: CompiledProblem) -> dict[str, str]:
         """task id -> instance type name for the best state."""
@@ -308,6 +314,7 @@ class GenericSearch:
         seeds: Iterable[PlanState] = (),
         op_mask: OpMask | None = None,
         distributor: "ShardedEvaluator | None" = None,
+        deadline_s: float | None = None,
     ) -> SearchResult:
         """Search for the cheapest plan meeting the deadline constraint.
 
@@ -338,7 +345,24 @@ class GenericSearch:
         the current frontier's top states -- memoized child lists that
         the next iteration consumes if those parents survive the merge
         and discards otherwise.
+
+        ``deadline_s`` is the cooperative watchdog: a wall-clock budget
+        (seconds, measured on the monotonic clock from entry) checked at
+        every iteration boundary.  When it expires the search stops
+        expanding and returns its best incumbent with
+        ``SearchResult.timed_out = True`` -- a hung or oversized solve
+        degrades to best-effort instead of wedging its worker.  The
+        check sits *between* iterations, never inside one, so a budget
+        ample enough that it never fires leaves the trajectory (and the
+        returned plan) bit-identical to the unbounded solve; an
+        undersized budget still returns a valid (often feasible, thanks
+        to the warm-start seeds) incumbent.  ``None`` disables it.
         """
+        if deadline_s is not None and not deadline_s > 0:
+            raise ValidationError(f"deadline_s must be > 0 seconds, got {deadline_s!r}")
+        t_deadline = (
+            time.monotonic() + float(deadline_s) if deadline_s is not None else None
+        )
         n = problem.num_tasks
         k = problem.num_types
         if op_mask is not None and op_mask.sample_token != getattr(
@@ -398,9 +422,17 @@ class GenericSearch:
         spec_memo: dict[tuple[bytes, bool], list[tuple[PlanState, bool]]] = {}
         speculated = 0
         speculation_hits = 0
+        timed_out = False
         sort_key = self._frontier_key
 
         while frontier and evaluations < self.max_evaluations:
+            if t_deadline is not None and time.monotonic() >= t_deadline:
+                # Iteration-boundary check only: an in-flight batch is
+                # never abandoned halfway, so every number already on
+                # the frontier is exact and the incumbent is a plan the
+                # unbounded search would also have visited.
+                timed_out = True
+                break
             # Stable total order: priority first, assignment bytes as
             # the tiebreak, so the ranking is a function of the
             # frontier *set* -- never of the insertion order a shard
@@ -729,6 +761,7 @@ class GenericSearch:
             workers=distributor.workers if distributor is not None else 1,
             speculated=speculated,
             speculation_hits=speculation_hits,
+            timed_out=timed_out,
         )
 
     # ------------------------------------------------------------------

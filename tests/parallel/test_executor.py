@@ -140,14 +140,21 @@ class TestWorkerCrashRecovery:
     def test_killed_worker_recovers_serially_with_full_results(self):
         items = list(range(8)) + ["die"] + list(range(8, 11))
         expected = [_square_or_die(x) for x in items]
-        with pytest.warns(RuntimeWarning, match="died mid-map"):
+        # On a starved host the management thread may mark every future
+        # broken before any completed result is drained; map_tasks then
+        # classifies the breakage as environmental ("falling back to
+        # serial") -- documented as indistinguishable.  Results are
+        # identical either way, which is the contract under test.
+        with pytest.warns(RuntimeWarning, match="died mid-map|falling back to serial"):
             out = map_tasks(_square_or_die, items, workers=2)
         assert out == expected
 
     def test_recovery_rerun_reruns_initializer(self):
         executor = ParallelExecutor(2, initializer=set_context, initargs=(9,))
         items = [0, 1, 2, 3, 4, 5, 6, 7, "die", 8]
-        with pytest.warns(RuntimeWarning, match="died mid-map"):
+        # Same zero-harvest caveat as above: either classification must
+        # re-run the initializer before the serial rerun.
+        with pytest.warns(RuntimeWarning, match="died mid-map|falling back to serial"):
             out = executor.map_tasks(_read_context_or_die, items)
         assert all(ctx == 9 for ctx, _ in out)
         assert [x for _, x in out] == items

@@ -1,0 +1,43 @@
+"""Shared fixtures for the service-layer tests.
+
+Every test here runs real worker *processes* (the chaos scenarios kill
+them), so the engine config is deliberately tiny: solves finish in
+~0.1s, keeping the whole suite interactive.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+#: Small-but-real Deco engine overrides used by every service test.
+ENGINE = {
+    "seed": 7,
+    "num_samples": 40,
+    "max_evaluations": 120,
+    "beam_width": 6,
+    "children_per_state": 4,
+    "expand_per_iter": 3,
+}
+
+
+def montage_payload(seed: int = 7, **extra) -> dict:
+    payload = {
+        "workflow": {"app": "montage", "degrees": 1.0, "seed": seed},
+        "deadline": "medium",
+        "percentile": 96.0,
+    }
+    payload.update(extra)
+    return payload
+
+
+@pytest.fixture(autouse=True)
+def _quiet_oversubscription():
+    """CI hosts often expose one usable CPU; the pool's oversubscription
+    warning is expected there and irrelevant to what these tests assert."""
+    with warnings.catch_warnings():
+        warnings.filterwarnings(
+            "ignore", message="requested .* worker", category=RuntimeWarning
+        )
+        yield

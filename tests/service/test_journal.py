@@ -1,0 +1,136 @@
+"""Write-ahead journal: durability, torn tails, exactly-once replay."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.common.errors import JournalCorrupt, ValidationError
+from repro.service import JobJournal, JobRecord, fold_events, replay_events
+
+
+def _submit_event(journal: JobJournal, job_id: str, **over) -> JobRecord:
+    job = JobRecord(job_id=job_id, payload={"workflow": {"app": "montage"}}, **over)
+    journal.append("submitted", ts=1.0, job=job.to_dict())
+    return job
+
+
+class TestAppend:
+    def test_append_then_replay_round_trips(self, tmp_path):
+        with JobJournal(tmp_path / "j.jsonl") as journal:
+            _submit_event(journal, "a")
+            journal.append("started", ts=2.0, job_id="a", attempts=1)
+            journal.append("completed", ts=3.0, job_id="a", result={"plan": {}})
+            jobs = journal.replay()
+        assert jobs["a"].state == "completed"
+        assert jobs["a"].result == {"plan": {}}
+        assert jobs["a"].finished_at == 3.0
+
+    def test_unknown_event_rejected(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        with pytest.raises(ValidationError, match="unknown journal event"):
+            journal.append("exploded", job_id="a")
+
+    def test_every_append_is_on_disk_immediately(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = JobJournal(path)
+        _submit_event(journal, "a")
+        # Read through a separate handle without closing the writer: the
+        # record must already be durable (fsync'd, newline-terminated).
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["event"] == "submitted"
+        journal.close()
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = JobJournal(tmp_path / "j.jsonl")
+        _submit_event(journal, "a")
+        journal.close()
+        journal.close()
+        # Reopen-on-append after close also works.
+        journal.append("started", ts=2.0, job_id="a", attempts=1)
+        journal.close()
+
+
+class TestTornTail:
+    def test_torn_final_line_dropped_with_warning(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path) as journal:
+            _submit_event(journal, "a")
+            _submit_event(journal, "b")
+        # Crash mid-append: the final record is half-written, no newline.
+        with open(path, "a") as fh:
+            fh.write('{"event": "completed", "job_id": "b", "re')
+        with pytest.warns(RuntimeWarning, match="torn final record"):
+            jobs = fold_events(replay_events(path))
+        assert set(jobs) == {"a", "b"}
+        assert jobs["b"].state == "queued"  # the torn terminal never happened
+
+    def test_torn_tail_with_newline_still_dropped(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path) as journal:
+            _submit_event(journal, "a")
+        raw = path.read_bytes()
+        path.write_bytes(raw + b'{"event": "started", "jo')  # torn, no newline
+        with pytest.warns(RuntimeWarning):
+            jobs = fold_events(replay_events(path))
+        assert jobs["a"].state == "queued"
+
+    def test_mid_file_corruption_raises(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        with JobJournal(path) as journal:
+            _submit_event(journal, "a")
+            journal.append("started", ts=2.0, job_id="a", attempts=1)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0][:20]  # damage a NON-tail record
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt) as exc_info:
+            list(replay_events(path))
+        assert exc_info.value.line_number == 1
+        assert exc_info.value.path == str(path)
+
+    def test_empty_and_missing_journals_replay_clean(self, tmp_path):
+        assert fold_events(replay_events(tmp_path / "missing.jsonl")) == {}
+        (tmp_path / "empty.jsonl").write_text("")
+        assert fold_events(replay_events(tmp_path / "empty.jsonl")) == {}
+
+
+class TestFold:
+    def test_running_jobs_requeued_on_replay(self, tmp_path):
+        with JobJournal(tmp_path / "j.jsonl") as journal:
+            _submit_event(journal, "a")
+            journal.append("started", ts=2.0, job_id="a", attempts=1)
+            jobs = journal.replay()
+        assert jobs["a"].state == "queued"
+        assert jobs["a"].attempts == 1  # the dead attempt still counts
+
+    def test_second_terminal_event_is_structural_corruption(self, tmp_path):
+        with JobJournal(tmp_path / "j.jsonl") as journal:
+            _submit_event(journal, "a")
+            journal.append("started", ts=2.0, job_id="a", attempts=1)
+            journal.append("completed", ts=3.0, job_id="a")
+            journal.append("degraded", ts=4.0, job_id="a")
+            with pytest.raises(JournalCorrupt, match="exactly-once"):
+                journal.replay()
+
+    def test_event_for_unknown_job_is_corruption(self, tmp_path):
+        with JobJournal(tmp_path / "j.jsonl") as journal:
+            journal.append("started", ts=2.0, job_id="ghost", attempts=1)
+            with pytest.raises(JournalCorrupt, match="unknown job"):
+                journal.replay()
+
+    def test_requeue_then_finish_replays_terminal(self, tmp_path):
+        with JobJournal(tmp_path / "j.jsonl") as journal:
+            _submit_event(journal, "a")
+            journal.append("started", ts=2.0, job_id="a", attempts=1)
+            journal.append("requeued", ts=3.0, job_id="a", backoff_s=0.1)
+            journal.append("started", ts=4.0, job_id="a", attempts=2)
+            journal.append(
+                "dead_lettered", ts=5.0, job_id="a",
+                error={"type": "BrokenProcessPool", "message": "x", "attempts": 2},
+            )
+            jobs = journal.replay()
+        assert jobs["a"].state == "dead_lettered"
+        assert jobs["a"].attempts == 2
+        assert jobs["a"].error["type"] == "BrokenProcessPool"

@@ -1,0 +1,177 @@
+"""Durable queue: priorities, admission control, terminal exactly-once."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import (
+    AdmissionError,
+    JobNotFound,
+    ServiceError,
+    ValidationError,
+)
+from repro.service import DurableQueue, JobJournal, TokenBucket
+
+
+def _payload(seed: int = 0) -> dict:
+    return {"workflow": {"app": "montage", "degrees": 1.0, "seed": seed}}
+
+
+@pytest.fixture()
+def queue(tmp_path):
+    journal = JobJournal(tmp_path / "q.jsonl")
+    q = DurableQueue(journal, reject_depth=8, tenant_rate=1000.0, tenant_burst=1000.0)
+    yield q
+    journal.close()
+
+
+class TestTokenBucket:
+    def test_burst_then_rate_limit(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=2.0, capacity=3.0, clock=lambda: now[0])
+        assert [bucket.try_take() for _ in range(3)] == [0.0, 0.0, 0.0]
+        wait = bucket.try_take()
+        assert wait == pytest.approx(0.5)
+        now[0] += 0.5  # refill exactly one token
+        assert bucket.try_take() == 0.0
+
+    def test_capacity_caps_refill(self):
+        now = [0.0]
+        bucket = TokenBucket(rate=10.0, capacity=2.0, clock=lambda: now[0])
+        now[0] += 100.0
+        assert bucket.try_take(2.0) == 0.0
+        assert bucket.try_take(1.0) > 0.0
+
+    def test_validates_parameters(self):
+        with pytest.raises(ValidationError):
+            TokenBucket(rate=0.0, capacity=1.0)
+
+
+class TestSubmitAndClaim:
+    def test_priority_classes_dispatch_in_rank_order(self, queue):
+        batch = queue.submit(_payload(1), priority="batch")
+        standard = queue.submit(_payload(2), priority="standard")
+        interactive = queue.submit(_payload(3), priority="interactive")
+        order = [queue.claim().job_id for _ in range(3)]
+        assert order == [interactive.job_id, standard.job_id, batch.job_id]
+
+    def test_fifo_within_priority_class(self, queue):
+        first = queue.submit(_payload(1))
+        second = queue.submit(_payload(2))
+        assert queue.claim().job_id == first.job_id
+        assert queue.claim().job_id == second.job_id
+
+    def test_claim_marks_running_and_counts_attempt(self, queue):
+        queue.submit(_payload())
+        job = queue.claim()
+        assert job.state == "running"
+        assert job.attempts == 1
+        assert queue.claim() is None
+
+    def test_malformed_payload_rejected_before_journal(self, queue, tmp_path):
+        with pytest.raises(ValidationError):
+            queue.submit({"workflow": {}})
+        assert queue.journal.appends == 0
+
+    def test_unknown_priority_rejected(self, queue):
+        with pytest.raises(ValidationError, match="priority"):
+            queue.submit(_payload(), priority="urgent")
+
+
+class TestAdmission:
+    def test_queue_full_rejects_with_retry_after(self, tmp_path):
+        queue = DurableQueue(
+            JobJournal(tmp_path / "q.jsonl"),
+            reject_depth=2, tenant_rate=1000.0, tenant_burst=1000.0,
+        )
+        queue.submit(_payload(1))
+        queue.submit(_payload(2))
+        with pytest.raises(AdmissionError) as exc_info:
+            queue.submit(_payload(3))
+        assert exc_info.value.reason == "queue_full"
+        assert exc_info.value.retry_after_s > 0
+        assert queue.rejected == 1
+
+    def test_rejected_jobs_are_never_journaled(self, tmp_path):
+        queue = DurableQueue(
+            JobJournal(tmp_path / "q.jsonl"),
+            reject_depth=1, tenant_rate=1000.0, tenant_burst=1000.0,
+        )
+        queue.submit(_payload(1))
+        with pytest.raises(AdmissionError):
+            queue.submit(_payload(2))
+        assert queue.journal.appends == 1  # only the accepted job
+
+    def test_per_tenant_rate_limit_isolated(self, tmp_path):
+        queue = DurableQueue(
+            JobJournal(tmp_path / "q.jsonl"),
+            reject_depth=100, tenant_rate=0.001, tenant_burst=1.0,
+        )
+        queue.submit(_payload(1), tenant="alice")
+        with pytest.raises(AdmissionError) as exc_info:
+            queue.submit(_payload(2), tenant="alice")
+        assert exc_info.value.reason == "rate_limited"
+        assert exc_info.value.retry_after_s > 0
+        # Bob's bucket is untouched by Alice exhausting hers.
+        queue.submit(_payload(3), tenant="bob")
+
+    def test_terminal_jobs_free_queue_depth(self, tmp_path):
+        queue = DurableQueue(
+            JobJournal(tmp_path / "q.jsonl"),
+            reject_depth=1, tenant_rate=1000.0, tenant_burst=1000.0,
+        )
+        job = queue.submit(_payload(1))
+        queue.claim()
+        queue.finish(job.job_id, "completed", result={})
+        queue.submit(_payload(2))  # depth freed: no AdmissionError
+
+
+class TestTerminalExactlyOnce:
+    def test_second_finish_raises(self, queue):
+        job = queue.submit(_payload())
+        queue.claim()
+        queue.finish(job.job_id, "completed", result={})
+        with pytest.raises(ServiceError, match="already terminal"):
+            queue.finish(job.job_id, "degraded")
+
+    def test_requeue_after_terminal_raises(self, queue):
+        job = queue.submit(_payload())
+        queue.claim()
+        queue.finish(job.job_id, "dead_lettered", error={"type": "X"})
+        with pytest.raises(ServiceError, match="already terminal"):
+            queue.requeue(job.job_id)
+
+    def test_unknown_job_raises_jobnotfound(self, queue):
+        with pytest.raises(JobNotFound):
+            queue.get("job-nope")
+
+
+class TestBackoffAndRecovery:
+    def test_backoff_defers_claim_without_blocking_others(self, queue):
+        crashed = queue.submit(_payload(1))
+        queue.claim()
+        queue.requeue(crashed.job_id, backoff_s=60.0)
+        other = queue.submit(_payload(2))
+        # The backoff job is skipped; the fresh one dispatches.
+        assert queue.claim().job_id == other.job_id
+        assert queue.claim() is None  # crashed job still cooling down
+
+    def test_restart_replays_inflight_jobs_into_queue(self, tmp_path):
+        path = tmp_path / "q.jsonl"
+        journal = JobJournal(path)
+        queue = DurableQueue(journal, tenant_rate=1000.0, tenant_burst=1000.0)
+        done = queue.submit(_payload(1))
+        queue.claim()
+        queue.finish(done.job_id, "completed", result={})
+        inflight = queue.submit(_payload(2))
+        queue.claim()  # running when the "crash" happens
+        queued = queue.submit(_payload(3))
+        journal.close()
+
+        restarted = DurableQueue(JobJournal(path), tenant_rate=1000.0, tenant_burst=1000.0)
+        assert restarted.get(done.job_id).state == "completed"
+        assert restarted.get(inflight.job_id).state == "queued"
+        assert restarted.get(queued.job_id).state == "queued"
+        assert restarted.recovered_inflight == 1
+        claimable = {restarted.claim().job_id, restarted.claim().job_id}
+        assert claimable == {inflight.job_id, queued.job_id}

@@ -1,0 +1,217 @@
+"""DecoService end to end: ladder, dispatcher, crash retry, watchdog."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.errors import AdmissionError, ValidationError
+from repro.service import DecoService, ServiceConfig
+
+from .conftest import ENGINE, montage_payload
+
+
+def make_service(tmp_path, **over) -> DecoService:
+    defaults = dict(
+        journal_path=str(tmp_path / "jobs.jsonl"),
+        workers=2,
+        tenant_rate=1000.0,
+        tenant_burst=1000.0,
+        backoff_base_s=0.01,
+        engine=dict(ENGINE),
+    )
+    defaults.update(over)
+    return DecoService(ServiceConfig(**defaults))
+
+
+class TestHappyPath:
+    def test_submit_solve_complete(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            job = svc.submit(montage_payload())
+            assert job.state == "queued"
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+        assert doc["state"] == "completed"
+        assert doc["result"]["plan"]["feasible"] is True
+        assert doc["result"]["plan"]["expected_cost"] > 0
+        assert doc["latency_s"] > 0
+
+    def test_wlog_program_payload(self, tmp_path):
+        from repro.wlog.library import scheduling_program
+
+        program = scheduling_program(
+            cloud="amazonec2",
+            workflow="montage",
+            percentile=95.0,
+            deadline_seconds=40_000.0,
+        )
+        with make_service(tmp_path) as svc:
+            job = svc.submit(
+                {"workflow": {"app": "montage", "degrees": 1.0}, "wlog": program}
+            )
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+        assert doc["state"] == "completed"
+        assert doc["result"]["plan"]["feasible"] is True
+
+    def test_cache_hit_served_at_submit(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            first = svc.submit(montage_payload(seed=3))
+            svc.run_until_idle(timeout_s=120)
+            second = svc.submit(montage_payload(seed=3))
+            assert second.state == "completed"
+            assert second.cache_hit is True
+            assert second.result["plan"] == svc.job_status(first.job_id)["result"]["plan"]
+            assert svc.cache.stats()["hits"] == 1
+
+    def test_different_problems_do_not_share_cache(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            svc.submit(montage_payload(seed=3))
+            svc.run_until_idle(timeout_s=120)
+            other = svc.submit(montage_payload(seed=4))
+            assert other.state == "queued"  # miss -> real solve
+            svc.run_until_idle(timeout_s=120)
+
+    def test_closed_service_refuses_submissions(self, tmp_path):
+        svc = make_service(tmp_path)
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(ValidationError, match="closed"):
+            svc.submit(montage_payload())
+
+
+class TestDegradationLadder:
+    def test_load_shed_downgrades_to_analytic(self, tmp_path):
+        with make_service(tmp_path, degrade_depth=1, reject_depth=10) as svc:
+            normal = svc.submit(montage_payload(seed=1))
+            shed = svc.submit(montage_payload(seed=2))
+            assert normal.degraded is False
+            assert shed.degraded is True
+            assert shed.degrade_reason == "load_shed"
+            assert shed.payload["backend"] == "analytic"
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(shed.job_id)
+        assert doc["state"] == "degraded"
+        assert doc["result"]["probability_error_bound"] > 0
+        assert svc.job_status(normal.job_id)["state"] == "completed"
+
+    def test_degraded_results_never_enter_cache(self, tmp_path):
+        with make_service(tmp_path, degrade_depth=0, reject_depth=10) as svc:
+            shed = svc.submit(montage_payload(seed=5))
+            assert shed.degraded is True
+            svc.run_until_idle(timeout_s=120)
+            assert svc.cache.stats()["entries"] == 0
+
+    def test_reject_rung_after_degrade_rung(self, tmp_path):
+        with make_service(tmp_path, degrade_depth=1, reject_depth=2) as svc:
+            svc.submit(montage_payload(seed=1))
+            degraded = svc.submit(montage_payload(seed=2))
+            assert degraded.degraded is True
+            with pytest.raises(AdmissionError) as exc_info:
+                svc.submit(montage_payload(seed=3))
+            assert exc_info.value.reason == "queue_full"
+            svc.run_until_idle(timeout_s=120)
+
+    def test_analytic_request_is_not_marked_degraded(self, tmp_path):
+        with make_service(tmp_path, degrade_depth=0, reject_depth=10) as svc:
+            job = svc.submit(montage_payload(backend="analytic"))
+            assert job.degraded is False  # client asked for analytic
+            svc.run_until_idle(timeout_s=120)
+            assert svc.job_status(job.job_id)["state"] == "completed"
+
+    def test_readiness_reports_ladder_position(self, tmp_path):
+        with make_service(tmp_path, degrade_depth=1, reject_depth=2) as svc:
+            assert svc.ready()["ok"] is True
+            assert svc.ready()["degraded_mode"] is False
+            svc.submit(montage_payload(seed=1))
+            assert svc.ready()["degraded_mode"] is True
+            svc.submit(montage_payload(seed=2))
+            assert svc.ready()["ok"] is False
+            svc.run_until_idle(timeout_s=120)
+            assert svc.ready()["ok"] is True
+
+
+class TestFailurePaths:
+    def test_deterministic_error_dead_letters_without_retry(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            job = svc.submit(montage_payload(inject="raise"))
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+        assert doc["state"] == "dead_lettered"
+        assert doc["attempts"] == 1  # no retry for clean failures
+        assert doc["error"]["type"] == "ValidationError"
+        assert doc["error"]["retryable"] is False
+
+    def test_worker_crash_retries_then_dead_letters(self, tmp_path):
+        with make_service(tmp_path, max_attempts=2) as svc:
+            job = svc.submit(montage_payload(inject="exit"))
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+            assert doc["state"] == "dead_lettered"
+            assert doc["attempts"] == 2  # crashed, retried, crashed again
+            assert doc["error"]["retryable"] is True
+            assert svc.pool.respawns >= 2
+            # The crashed worker's slot still serves later jobs.
+            ok = svc.submit(montage_payload(seed=9))
+            svc.run_until_idle(timeout_s=120)
+            assert svc.job_status(ok.job_id)["state"] == "completed"
+
+    def test_hang_watchdog_converts_stall_to_crash(self, tmp_path):
+        with make_service(tmp_path, max_attempts=1, hang_after_s=0.5) as svc:
+            job = svc.submit(montage_payload(inject="sleep:30"))
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+        assert doc["state"] == "dead_lettered"
+        assert doc["error"]["type"] == "TimeoutError"
+
+
+class TestSolveWatchdog:
+    def test_undersized_budget_degrades_with_incumbent(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            job = svc.submit(montage_payload(solve_deadline_s=1e-6))
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+        assert doc["state"] == "degraded"
+        assert doc["degrade_reason"] == "solve_timeout"
+        assert doc["result"]["timed_out"] is True
+        # Best incumbent is still a usable plan (warm starts seed it).
+        assert doc["result"]["plan"]["feasible"] is True
+
+    def test_ample_budget_completes_normally(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            job = svc.submit(montage_payload(solve_deadline_s=1e6))
+            svc.run_until_idle(timeout_s=120)
+            doc = svc.job_status(job.job_id)
+        assert doc["state"] == "completed"
+        assert doc["result"]["timed_out"] is False
+
+
+class TestRestartRecovery:
+    def test_terminal_history_survives_restart(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            job = svc.submit(montage_payload())
+            svc.run_until_idle(timeout_s=120)
+            result = svc.job_status(job.job_id)["result"]
+        with make_service(tmp_path) as svc2:
+            doc = svc2.job_status(job.job_id)
+            assert doc["state"] == "completed"
+            assert doc["result"] == result
+            assert svc2.queue.depth == 0
+
+    def test_unfinished_jobs_resume_after_restart(self, tmp_path):
+        svc = make_service(tmp_path)
+        job = svc.submit(montage_payload(seed=11))
+        svc.close()  # "crash" before any dispatch
+        with make_service(tmp_path) as svc2:
+            assert svc2.queue.get(job.job_id).state == "queued"
+            svc2.run_until_idle(timeout_s=120)
+            assert svc2.job_status(job.job_id)["state"] == "completed"
+
+    def test_stats_and_health_shape(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            svc.submit(montage_payload())
+            svc.run_until_idle(timeout_s=120)
+            stats = svc.stats()
+            assert stats["jobs"] == {"completed": 1}
+            assert stats["depth"] == 0
+            assert len(stats["worker_pids"]) == 2
+            assert svc.healthy()["ok"] is True

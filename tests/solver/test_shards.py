@@ -9,7 +9,9 @@ tie-break that makes the shard merge order-independent is pinned
 directly.
 """
 
+import os
 import random
+import signal
 import warnings
 
 import numpy as np
@@ -22,6 +24,7 @@ from repro.engine.deco import Deco
 from repro.parallel.executor import chunk_evenly
 from repro.solver.backends import CompiledProblem, VectorizedBackend
 from repro.solver.search import GenericSearch
+from repro.solver.shards import ShardedEvaluator
 from repro.solver.state import PlanState, StateEval
 from repro.workflow.generators import montage
 from repro.workflow.runtime_model import RuntimeModel
@@ -129,6 +132,77 @@ class TestShardCrashDuringSolve:
             finally:
                 deco.close()
         assert plan.decision_dict() == reference
+
+
+class TestRepeatedShardFailures:
+    """Repeated worker loss within a single solve (service robustness).
+
+    Each SIGKILL is one *incident*: exactly one ``beam shard`` warning,
+    a serial re-run of only that shard's chunk, and a lazy respawn on
+    the shard's next job -- so the plan stays bit-identical to the
+    serial solve no matter how many times, or how close together,
+    shards die.
+    """
+
+    KW = dict(num_samples=60, max_evaluations=120)
+
+    def _solve_with_kills(self, wf, kill_plan):
+        """Solve on 2 shards, SIGKILLing workers per ``kill_plan``.
+
+        ``kill_plan`` maps an eval-round ordinal (1-based) to the shard
+        indices whose worker is killed immediately before that round's
+        dispatch.  Returns (decision_dict, rounds_seen, shard_warnings).
+        """
+        rounds = {"n": 0}
+        original = ShardedEvaluator.submit_eval
+
+        def sabotaged(evaluator, states, parents, incremental):
+            rounds["n"] += 1
+            for shard in kill_plan.get(rounds["n"], ()):
+                pid = evaluator.pool.worker_pids()[shard]
+                if pid is None:
+                    # Shard died earlier and respawn is lazy; force the
+                    # respawn (prologue replay included) so this kill
+                    # hits a live worker -- the repeated-failure case.
+                    evaluator.pool._spawn(shard)
+                    pid = evaluator.pool.worker_pids()[shard]
+                assert pid is not None, f"shard {shard} has no live worker to kill"
+                os.kill(pid, signal.SIGKILL)
+            return original(evaluator, states, parents, incremental)
+
+        with warnings.catch_warnings(record=True) as captured:
+            warnings.simplefilter("always")
+            ShardedEvaluator.submit_eval = sabotaged
+            try:
+                with Deco(CATALOG, workers=2, seed=7, **self.KW) as deco:
+                    plan = deco.schedule(wf, "medium")
+            finally:
+                ShardedEvaluator.submit_eval = original
+        incidents = [w for w in captured if "beam shard" in str(w.message)]
+        return plan.decision_dict(), rounds["n"], incidents
+
+    @pytest.fixture(scope="class")
+    def wf(self):
+        return montage(degrees=1, seed=2)
+
+    @pytest.fixture(scope="class")
+    def reference(self, wf):
+        decisions, _ = solve_once(wf, 1, **self.KW)
+        return decisions
+
+    def test_same_shard_killed_twice_in_one_solve(self, wf, reference):
+        decisions, rounds, incidents = self._solve_with_kills(wf, {2: [0], 3: [0]})
+        assert rounds >= 3, "solve finished before both kills landed"
+        assert decisions == reference
+        # One warning per incident: the second kill (of the respawned
+        # worker) must be reported as its own event, not coalesced.
+        assert len(incidents) == 2, [str(w.message) for w in incidents]
+
+    def test_two_shards_killed_in_one_beam_iteration(self, wf, reference):
+        decisions, rounds, incidents = self._solve_with_kills(wf, {2: [0, 1]})
+        assert rounds >= 2
+        assert decisions == reference
+        assert len(incidents) == 2, [str(w.message) for w in incidents]
 
 
 def compile_small(num_samples=48, seed=3):

@@ -508,3 +508,81 @@ class TestLintSarifAndExplain:
         code, text = run_cli(["lint", "--explain"])
         assert code == 0
         assert text == checks_markdown()
+
+
+class TestSolveDeadlineFlag:
+    def test_rejects_nonpositive(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--solve-deadline", "0"]
+        )
+        assert code == 2
+        assert "--solve-deadline must be > 0 seconds" in text
+
+    def test_undersized_budget_reports_timeout(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--samples", "40", "--evals", "150",
+             "--solve-deadline", "0.000001"]
+        )
+        assert code == 0  # best incumbent is still a usable, feasible plan
+        assert "timed out:" in text
+        assert "solve watchdog" in text
+
+    def test_ample_budget_is_silent(self):
+        code, text = run_cli(
+            ["schedule", "--app", "montage", "--degrees", "1",
+             "--samples", "40", "--evals", "150",
+             "--solve-deadline", "1000000"]
+        )
+        assert code == 0
+        assert "timed out:" not in text
+
+
+class TestServeFlags:
+    """Validation-only: a well-formed serve blocks on serve_forever."""
+
+    def test_rejects_bad_depths(self):
+        code, text = run_cli(["serve", "--degrade-depth", "0"])
+        assert code == 2
+        assert "--degrade-depth must be >= 1" in text
+
+    def test_rejects_bad_hang_after(self):
+        code, text = run_cli(["serve", "--hang-after", "0"])
+        assert code == 2
+        assert "--hang-after must be > 0" in text
+
+    def test_rejects_bad_max_attempts(self):
+        code, text = run_cli(["serve", "--max-attempts", "0"])
+        assert code == 2
+        assert "--max-attempts must be >= 1" in text
+
+
+class TestSubmitFlags:
+    def test_rejects_unknown_backend(self):
+        code, text = run_cli(
+            ["submit", "--app", "montage", "--backend", "bogus"]
+        )
+        assert code == 2
+        assert "--backend must be gpu|cpu|analytic" in text
+
+    def test_rejects_nonpositive_solve_deadline(self):
+        code, text = run_cli(
+            ["submit", "--app", "montage", "--solve-deadline", "-1"]
+        )
+        assert code == 2
+        assert "--solve-deadline must be > 0 seconds" in text
+
+    def test_unreachable_service_exits_2(self):
+        code, text = run_cli(
+            ["submit", "--app", "montage", "--url", "http://127.0.0.1:9",
+             "--timeout", "1"]
+        )
+        assert code == 2
+        assert "cannot reach service" in text
+
+    def test_missing_wlog_file(self):
+        code, text = run_cli(
+            ["submit", "--app", "montage", "--wlog", "/no/such/prog.wlog"]
+        )
+        assert code == 2
+        assert "WLog program not found" in text
