@@ -192,10 +192,13 @@ def write_bench_parallel_json(
     """
     if rows is None:
         rows = bench_parallel(config, workers=workers, runs=runs, degrees=degrees)
+    from repro.parallel.arena import arena_available
+
     payload = {
         "benchmark": "parallel_runtime",
         "unit": "s",
         "host_cpu_count": host_cpu_count(),
+        "arena_available": arena_available(),
         "workers": rows[0]["workers"],
         "speedup": rows[0]["speedup"],
         "identical": all(r["identical"] for r in rows),

@@ -117,6 +117,24 @@ def bench_service(
                 "hit_batch_s": round(hit_s, 6),
             }
 
+            # Problem store: one workflow, several deadlines -- the plan
+            # cache misses (different keys) but the compiled problem is
+            # attached zero-copy after the first job publishes it.
+            sweep = []
+            for pct in (90.0, 93.0, 94.0, 98.0):
+                payload = _payload(0)
+                payload["percentile"] = pct
+                sweep.append(service.submit(payload).job_id)
+            _drain(service, timeout_s=900.0)
+            store = service.stats()["problem_store"]
+            results["problem_store"] = {
+                **store,
+                "sweep_jobs": len(sweep),
+                "sweep_completed": all(
+                    service.queue.get(j).state == "completed" for j in sweep
+                ),
+            }
+
     # -- degradation ladder ------------------------------------------------
     shed_config = ServiceConfig(
         journal_path=os.path.join(tmp, "bench-shed.jsonl"),

@@ -153,6 +153,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="disable tier 0 of the screening cascade (analytic "
                             "classification); slower on large workflows, plans "
                             "are identical either way")
+    sched.add_argument("--no-arena", action="store_true",
+                       help="disable the shared-memory tensor plane for the "
+                            "distributed solve (workers > 1): broadcast pickled "
+                            "prologues instead of zero-copy segment keys; plans "
+                            "are identical either way")
+    sched.add_argument("--no-adaptive-sharding", action="store_true",
+                       help="disable cost-model weighted shard partitioning and "
+                            "work stealing (workers > 1): chunk candidate "
+                            "batches evenly; plans are identical either way")
     sched.add_argument("--no-dominance-mask", action="store_true",
                        help="disable the dominance analysis (futile-promote "
                             "settling); plans are identical either way")
@@ -255,6 +264,17 @@ def _build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--no-dominance-mask", action="store_true",
                        help="skip the dominance-mask section of the solver "
                             "bench (and its on/off plan-identity gate)")
+    bench.add_argument("--no-arena", action="store_true",
+                       help="skip the shared-memory arena section of the solver "
+                            "bench (and its plan-identity + broadcast-bytes "
+                            "reduction gates)")
+    bench.add_argument("--no-adaptive-sharding", action="store_true",
+                       help="skip the adaptive-sharding section of the solver "
+                            "bench (and its on/off plan-identity gate)")
+    bench.add_argument("--repeat", type=int, default=2, metavar="N",
+                       help="timing repetitions for the distributed solver "
+                            "bench: solve_s is the median of N with min/max "
+                            "spread recorded (default 2)")
     bench.add_argument("--jobs", type=int, default=8,
                        help="batch size for the service bench's latency/cache "
                             "sections")
@@ -420,7 +440,9 @@ def _cmd_schedule(args, out) -> int:
                 analytic_screen=not args.no_analytic_screen,
                 dominance_mask=not args.no_dominance_mask,
                 workers=workers,
-                solve_deadline_s=args.solve_deadline)
+                solve_deadline_s=args.solve_deadline,
+                arena=not args.no_arena,
+                adaptive_sharding=not args.no_adaptive_sharding)
     try:
         deadline: float | str = float(args.deadline)
     except ValueError:
@@ -706,6 +728,8 @@ def _cmd_bench(args, out) -> int:
             file=out,
         )
         return 0 if payload["identical"] else 1
+    if args.repeat < 1:
+        return _usage_error(out, f"--repeat must be >= 1, got {args.repeat}")
     from repro.bench import (
         analytic_accuracy,
         analytic_speedup,
@@ -716,7 +740,11 @@ def _cmd_bench(args, out) -> int:
         incremental_speedup,
         write_bench_solver_json,
     )
-    from repro.bench.perf import ANALYTIC_PROB_ERROR_BOUND
+    from repro.bench.perf import (
+        ANALYTIC_PROB_ERROR_BOUND,
+        adaptive_sharding_bench,
+        arena_bench,
+    )
     from repro.solver import BACKEND_NAMES
 
     if args.backend not in BACKEND_NAMES:
@@ -761,7 +789,23 @@ def _cmd_bench(args, out) -> int:
         counts = (1,) if workers == 1 else (1, workers)
     else:
         counts = (1, 2, 4)
-    distributed_rows = distributed_search(config, worker_counts=counts)
+    distributed_rows = distributed_search(
+        config, worker_counts=counts, repeats=args.repeat
+    )
+    # Arena + adaptive sharding run at the sharded width CI pins (or 2):
+    # both compare a multi-worker engine against itself with the
+    # optimization off, so a width of 1 would measure nothing.
+    shard_width = workers if workers and workers > 1 else 2
+    if args.no_arena:
+        arena_rows: list[dict] = []
+        skipped.append("arena")
+    else:
+        arena_rows = arena_bench(config, workers=shard_width)
+    if args.no_adaptive_sharding:
+        adaptive_rows: list[dict] = []
+        skipped.append("adaptive-sharding")
+    else:
+        adaptive_rows = adaptive_sharding_bench(config, workers=shard_width)
     payload = write_bench_solver_json(
         path,
         config,
@@ -772,6 +816,8 @@ def _cmd_bench(args, out) -> int:
         cascade_rows=cascade_rows,
         dominance_rows=dominance_rows,
         distributed_rows=distributed_rows,
+        arena_rows=arena_rows,
+        adaptive_rows=adaptive_rows,
     )
     print(format_table(payload["solver_speedup"], "Solver speedup"), file=out)
     if inc_rows:
@@ -796,23 +842,44 @@ def _cmd_bench(args, out) -> int:
         format_table(distributed_rows, "Distributed beam solve: per worker count"),
         file=out,
     )
+    if arena_rows:
+        print(
+            format_table(arena_rows, "Shared-memory arena: zero-copy vs pickled"),
+            file=out,
+        )
+    if adaptive_rows:
+        print(
+            format_table(adaptive_rows, "Adaptive sharding: cost model vs even"),
+            file=out,
+        )
     # Neither optimization may ever change a decision: fail the bench
     # (exit 1) on any plan/sample divergence, or on an analytic error
     # above the documented bound.
     identical = all(
         r["identical"]
-        for r in inc_rows + search_rows + cascade_rows + dominance_rows + distributed_rows
+        for r in inc_rows + search_rows + cascade_rows + dominance_rows
+        + distributed_rows + arena_rows + adaptive_rows
     )
     max_err = max((r["max_abs_prob_error"] for r in acc_rows), default=0.0)
     within_bound = max_err <= ANALYTIC_PROB_ERROR_BOUND
+    # The arena's headline claim: where shared memory works, the
+    # begin-solve broadcast must shrink >= 10x vs the pickled prologue.
+    # Fallback environments (arena_used=False) measured pickling against
+    # itself, so the gate is waived there (the JSON still records it).
+    arena_gate = all(
+        r["broadcast_reduction_x"] >= 10.0
+        for r in arena_rows
+        if r["arena_used"]
+    )
     note = f" ({', '.join(skipped)} section skipped)" if skipped else ""
     print(
         f"\nwrote {path} (identical={identical}, "
         f"max analytic prob error={max_err:.3f} "
-        f"<= bound {ANALYTIC_PROB_ERROR_BOUND:g}: {within_bound}){note}",
+        f"<= bound {ANALYTIC_PROB_ERROR_BOUND:g}: {within_bound}, "
+        f"arena broadcast gate={arena_gate}){note}",
         file=out,
     )
-    return 0 if identical and within_bound else 1
+    return 0 if identical and within_bound and arena_gate else 1
 
 
 def _cmd_serve(args, out) -> int:

@@ -20,13 +20,26 @@ Algorithm-1 evaluation is asserted in the test suite.
 
 from __future__ import annotations
 
+import pickle
+
+import numpy as np
+
 from repro.common.errors import WLogError
 from repro.solver.backends import CompiledProblem
+from repro.solver.levels import LevelSchedule
 from repro.wlog.probir import ProbabilisticIR
 from repro.wlog.program import ConsSpec, WLogProgram
 from repro.wlog.terms import Struct, to_python
 
-__all__ = ["try_compile", "compile_or_raise"]
+__all__ = [
+    "try_compile",
+    "compile_or_raise",
+    "ArenaWorkflowStub",
+    "calibration_from_segment",
+    "export_problem_arrays",
+    "problem_fingerprint",
+    "problem_from_segment",
+]
 
 _GOAL_FUNCTORS = ("totalcost",)
 _CONS_FUNCTORS = ("maxtime",)
@@ -104,6 +117,171 @@ def try_compile(
             reliability_percentile=rel_percentile,
         )
     return problem
+
+
+# Shared-memory tensor plane (DESIGN.md §15) ---------------------------------
+#
+# A CompiledProblem is, at runtime, a bag of immutable numpy arrays plus
+# tiny metadata.  These helpers flatten it into (arrays, meta) suitable
+# for :mod:`repro.parallel.arena` segments and rebuild an equivalent
+# problem from an attached segment -- the zero-copy alternative to
+# pickling the whole problem into every worker.
+
+
+class ArenaWorkflowStub:
+    """Minimal workflow stand-in for attached problems.
+
+    Worker-side evaluation (makespan kernels, analytic moments, prefix
+    screening, cost batches) never touches the workflow object beyond
+    identity-ish metadata; plan assembly (``assignment_names``,
+    ``state_from_assignment``) happens in the parent, which holds the
+    real workflow.  Shipping a stub keeps the segment free of object
+    graphs.
+    """
+
+    __slots__ = ("name", "num_tasks")
+
+    def __init__(self, name: str, num_tasks: int):
+        self.name = str(name)
+        self.num_tasks = int(num_tasks)
+
+    def __len__(self) -> int:
+        return self.num_tasks
+
+    def __repr__(self) -> str:
+        return f"ArenaWorkflowStub({self.name!r}, {self.num_tasks})"
+
+
+def export_problem_arrays(
+    problem: CompiledProblem, calibration: tuple | None = None
+) -> tuple[dict[str, np.ndarray], dict]:
+    """Flatten a problem's immutable arrays (+ optional analytic
+    calibration ``(grids, means, variances)``) into an arena payload."""
+    lv = problem.levels
+    assert lv is not None
+    arrays: dict[str, np.ndarray] = {
+        "tensor": problem.tensor,
+        "tensor_taskmajor": problem.tensor_taskmajor,
+        "mean_times": problem.mean_times,
+        "prices": problem.prices,
+        "parent_matrix": lv.parent_matrix,
+        "order": lv.order,
+        "depth": lv.depth,
+        "rank": lv.rank,
+        "sink_slots": lv.sink_slots,
+    }
+    for i, gather in enumerate(lv.level_parents):
+        arrays[f"lvlp{i}"] = gather
+    if calibration is not None:
+        grids, means, variances = calibration
+        arrays["calib_grids"] = grids
+        arrays["calib_means"] = means
+        arrays["calib_variances"] = variances
+    meta = {
+        "workflow_name": problem.workflow.name,
+        "num_tasks": problem.num_tasks,
+        "num_levels": lv.num_levels,
+        "level_bounds": [list(b) for b in lv.level_bounds],
+        "calibrated": calibration is not None,
+    }
+    return arrays, meta
+
+
+def problem_fingerprint(problem: CompiledProblem, calibrated: bool = False) -> str:
+    """Content key of a problem's sample-tensor generation.
+
+    Hashes the arrays whose bytes determine every evaluation result
+    (the task-major copy and level gathers are deterministic functions
+    of these, so hashing them too would only slow the key down) plus
+    the fault metadata that rides the derivation chain.  Problems with
+    equal keys are interchangeable on the worker side.
+    """
+    from repro.parallel.arena import content_key
+
+    lv = problem.levels
+    assert lv is not None
+    extra = pickle.dumps(
+        (
+            problem.workflow.name,
+            problem.faults,
+            problem.recovery,
+            problem.reliability_required,
+            bool(calibrated),
+        ),
+        protocol=4,
+    )
+    return content_key(
+        {
+            "tensor": problem.tensor,
+            "mean_times": problem.mean_times,
+            "prices": problem.prices,
+            "parent_matrix": lv.parent_matrix,
+        },
+        extra=extra,
+    )
+
+
+def problem_from_segment(
+    segment,
+    catalog,
+    *,
+    workflow=None,
+    deadline: float = 1.0,
+    required_probability: float = 0.96,
+    faults=None,
+    recovery=None,
+    reliability_required: float = 0.0,
+) -> CompiledProblem:
+    """Rebuild a :class:`CompiledProblem` over an attached segment's arrays.
+
+    The tensors alias the shared mapping (zero-copy); per-solve scalars
+    (deadline, fault metadata) come from the caller -- they ride the
+    small broadcast delta, not the segment.  The rebuilt problem gets a
+    fresh worker-local ``sample_token``, so worker caches key it like
+    any locally compiled problem.
+    """
+    arrays, meta = segment.arrays, segment.meta
+    level_parents = [arrays[f"lvlp{i}"] for i in range(int(meta["num_levels"]))]
+    levels = LevelSchedule.from_arrays(
+        parent_matrix=arrays["parent_matrix"],
+        order=arrays["order"],
+        depth=arrays["depth"],
+        rank=arrays["rank"],
+        sink_slots=arrays["sink_slots"],
+        level_bounds=meta["level_bounds"],
+        level_parents=level_parents,
+    )
+    parent_matrix = arrays["parent_matrix"]
+    parents = tuple(
+        tuple(int(p) for p in row[row >= 0]) for row in parent_matrix
+    )
+    wf = workflow if workflow is not None else ArenaWorkflowStub(
+        meta["workflow_name"], int(meta["num_tasks"])
+    )
+    return CompiledProblem(
+        workflow=wf,
+        catalog=catalog,
+        mean_times=arrays["mean_times"],
+        tensor=arrays["tensor"],
+        prices=arrays["prices"],
+        parent_indices=parents,
+        deadline=float(deadline),
+        required_probability=float(required_probability),
+        levels=levels,
+        tensor_taskmajor=arrays["tensor_taskmajor"],
+        faults=faults,
+        recovery=recovery,
+        reliability_required=float(reliability_required),
+    )
+
+
+def calibration_from_segment(segment) -> tuple | None:
+    """The published analytic calibration ``(grids, means, variances)``,
+    or ``None`` when the segment was exported without one."""
+    arrays = segment.arrays
+    if "calib_grids" not in arrays:
+        return None
+    return arrays["calib_grids"], arrays["calib_means"], arrays["calib_variances"]
 
 
 def compile_or_raise(

@@ -97,6 +97,29 @@ class Deco:
         per-call ``solve_deadline_s`` on :meth:`schedule` overrides it;
         ``None`` (the default) solves unbounded.  A budget the solve
         never exhausts leaves plans bit-identical to the unbounded run.
+    arena:
+        On a sharded engine, host the solve's immutable tensors (the
+        sample tensor, level-schedule matrices, calibrated quantile
+        grids) in a content-addressed shared-memory arena that worker
+        processes map read-only zero-copy (DESIGN.md §15) -- the
+        begin-solve broadcast shrinks from a pickled compiled problem
+        to a 64-hex key plus scalar deltas.  Plans are bit-identical
+        either way (the workers rebuild the same
+        :class:`CompiledProblem` views over the same bytes); ``False``
+        is the escape hatch (the CLI's ``--no-arena``), and
+        environments without ``multiprocessing.shared_memory`` fall
+        back to the pickled-prologue path with one warning.
+    adaptive_sharding:
+        Size the per-shard candidate chunks by each shard's measured
+        per-candidate cost (an EWMA fed by every job's reported
+        wall-clock) instead of evenly, and let shards that finish a
+        tier-2 round early steal the held-back tail of a straggler's
+        chunk.  Both layers only re-route *where* chunks are computed
+        -- shards return pure per-candidate numbers and the parent
+        makes every decision -- so plans stay bit-identical (asserted
+        by the shard test matrix and the solver bench's
+        ``adaptive_sharding.identical`` gate).  ``False`` restores
+        even chunking (the CLI's ``--no-adaptive-sharding``).
 
     A Deco instance memoizes the compiled problem per workflow
     (deadline/percentile changes derive via
@@ -132,6 +155,8 @@ class Deco:
         dominance_mask: bool = True,
         workers: int | None = None,
         solve_deadline_s: float | None = None,
+        arena: bool = True,
+        adaptive_sharding: bool = True,
     ):
         self.catalog = catalog
         self.seed = int(seed)
@@ -184,6 +209,19 @@ class Deco:
         self._solve_key = 0
         self._distributed_solves = 0
         self._shard_counters: dict[str, int] = {}
+        # Shared-memory tensor plane (DESIGN.md §15): a lazily created
+        # content-addressed arena hosting compiled-problem tensors that
+        # shard workers map zero-copy, a fingerprint memo so repeat
+        # solves don't re-hash unchanged tensors, and the cost model
+        # feeding the weighted shard partitioner.
+        self.arena = bool(arena)
+        self.adaptive_sharding = bool(adaptive_sharding)
+        self._arena = None
+        self._arena_warned = False
+        self._fingerprints: OrderedDict[tuple, str] = OrderedDict()
+        self._cost_model = None
+        self._imbalance_sum = 0.0
+        self._imbalance_rounds = 0
 
     # Worker-process rebuilding --------------------------------------------
 
@@ -214,6 +252,8 @@ class Deco:
             "analytic_screen": self.analytic_screen,
             "dominance_mask": self.dominance_mask,
             "solve_deadline_s": self.solve_deadline_s,
+            "arena": self.arena,
+            "adaptive_sharding": self.adaptive_sharding,
         }
 
     @classmethod
@@ -221,12 +261,63 @@ class Deco:
         """Rebuild an engine from :meth:`spec` (in a worker process)."""
         return cls(**spec)
 
+    def _calibration_shipped(self, problem: CompiledProblem) -> bool:
+        """Whether the arena segment should carry tier-0 quantile grids.
+
+        Mirrors :meth:`GenericSearch._analytic_active`'s static gates --
+        if the analytic tier can run on any shard, ship the calibration
+        so no worker pays the ``np.quantile`` pass.  Shipping is a pure
+        transfer optimization: a worker that calibrates locally gets
+        bit-identical grids (``np.quantile`` over the same bytes).
+        """
+        return (
+            self._search.analytic_screen
+            and problem.num_tasks >= self._search.analytic_min_tasks
+            and 0.0 < problem.required_probability < 1.0
+            and getattr(self.backend, "name", "") != "analytic"
+        )
+
+    def _publish_problem(self, problem: CompiledProblem) -> str:
+        """Publish ``problem``'s tensors into the arena; return the key.
+
+        The key is the SHA-256 content fingerprint of the immutable
+        arrays (plus faults metadata), so deadline sweeps over one
+        workflow republish nothing and distinct engines hosting the
+        same workflow converge on the same segment.  The fingerprint is
+        memoized per ``sample_token`` -- hashing a Montage-8 tensor is
+        not free -- and publishing an already-hosted key is a counted
+        no-op.
+        """
+        from repro.engine.compiler import export_problem_arrays, problem_fingerprint
+        from repro.parallel.arena import TensorArena
+
+        calibrated = self._calibration_shipped(problem)
+        memo_key = (problem.sample_token, calibrated)
+        key = self._fingerprints.get(memo_key)
+        if key is None:
+            key = problem_fingerprint(problem, calibrated=calibrated)
+            self._fingerprints[memo_key] = key
+            while len(self._fingerprints) > self._PROBLEM_CACHE_SIZE:
+                self._fingerprints.popitem(last=False)
+        else:
+            self._fingerprints.move_to_end(memo_key)
+        if self._arena is None:
+            self._arena = TensorArena()
+        if key in self._arena:
+            self._arena.counters["hits"] += 1
+            return key
+        calibration = None
+        if calibrated:
+            calibration = self._search._analytic_evaluator()._calibration(problem)
+        arrays, meta = export_problem_arrays(problem, calibration=calibration)
+        self._arena.publish(key, arrays, meta)
+        return key
+
     def _distributor(
         self,
         workflow: Workflow,
         region: str | None,
-        deadline: float,
-        percentile: float,
+        problem: CompiledProblem,
         faults: FaultModel | None,
         recovery: RecoveryPolicy | None,
         reliability_percentile: float | None,
@@ -235,13 +326,26 @@ class Deco:
 
         Spins up the persistent shard pool on first use (each worker
         rebuilds an engine from :meth:`spec` exactly once), then
-        broadcasts the solve's compile/with_deadline/with_faults recipe
-        as the pool's prologue -- every shard derives the same compiled
-        problem the parent solves, and a worker respawned after a crash
-        replays the prologue before its first job.  ``wf_key`` hashes
-        the pickled workflow *content* (not its object identity), so a
-        shard reuses its cached base compilation exactly when the
-        tensors really are the same.
+        installs the solve's compiled problem on every shard as the
+        pool's prologue -- a worker respawned after a crash replays it
+        before its first job.  Two transports:
+
+        * **arena** (default when shared memory works): the parent
+          publishes ``problem``'s immutable tensors into the
+          content-addressed :class:`~repro.parallel.TensorArena` and
+          broadcasts only the content key plus the deadline/faults
+          scalars; workers map the segment read-only zero-copy and
+          rebuild the same :class:`CompiledProblem` over those bytes.
+          The broadcast is stamped with the context key, so repeat
+          solves of an unchanged problem skip serialization entirely.
+        * **legacy pickle** (``arena=False``, no ``/dev/shm``, or any
+          arena failure -- one warning, then transparent fallback):
+          broadcast the full compile/with_deadline/with_faults recipe
+          and let each shard derive the problem itself.
+
+        ``wf_key`` hashes the pickled workflow *content* (not its
+        object identity); it keys both the shards' base-compilation
+        reuse (legacy path) and the cost model's per-workflow EWMAs.
         """
         if self.workers <= 1:
             return None
@@ -249,26 +353,79 @@ class Deco:
         import pickle
 
         from repro.parallel.executor import ShardPool
-        from repro.parallel.workers import beam_begin_solve, init_beam_worker
-        from repro.solver.shards import ShardedEvaluator
+        from repro.parallel.workers import (
+            beam_begin_solve,
+            beam_begin_solve_arena,
+            init_beam_worker,
+        )
+        from repro.solver.shards import ShardCostModel, ShardedEvaluator
 
         if self._shard_pool is None:
             self._shard_pool = ShardPool(
                 self.workers, initializer=init_beam_worker, initargs=(self.spec(),)
             )
+        if self._cost_model is None:
+            self._cost_model = ShardCostModel()
         wf_key = hashlib.sha1(
             pickle.dumps((workflow, region), protocol=4)
         ).hexdigest()
         self._solve_key += 1
-        self._shard_pool.broadcast(
-            beam_begin_solve,
-            (
-                self._solve_key, wf_key, workflow, region,
-                deadline, percentile, faults, recovery, reliability_percentile,
-            ),
-        )
+        solve_token: object = self._solve_key
+        deadline = problem.deadline
+        percentile = problem.required_probability * 100.0
+        shipped = False
+        if self.arena:
+            try:
+                from repro.parallel.arena import arena_available
+
+                if arena_available():
+                    arena_key = self._publish_problem(problem)
+                    ctx_key = (
+                        f"{arena_key}:{problem.deadline!r}"
+                        f":{problem.required_probability!r}"
+                    )
+                    self._shard_pool.broadcast(
+                        beam_begin_solve_arena,
+                        (
+                            ctx_key,
+                            arena_key,
+                            problem.deadline,
+                            problem.required_probability,
+                            problem.faults,
+                            problem.recovery,
+                            problem.reliability_required,
+                        ),
+                        stamp=ctx_key,
+                    )
+                    solve_token = ctx_key
+                    shipped = True
+            except Exception as exc:
+                if not self._arena_warned:
+                    self._arena_warned = True
+                    import warnings
+
+                    warnings.warn(
+                        f"shared-memory arena unavailable ({exc!r}); "
+                        "falling back to pickled-prologue broadcasts",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+        if not shipped:
+            self._shard_pool.broadcast(
+                beam_begin_solve,
+                (
+                    self._solve_key, wf_key, workflow, region,
+                    deadline, percentile, faults, recovery, reliability_percentile,
+                ),
+            )
         self._distributed_solves += 1
-        return ShardedEvaluator(self._shard_pool, self._solve_key)
+        return ShardedEvaluator(
+            self._shard_pool,
+            solve_token,
+            cost_model=self._cost_model,
+            wf_key=wf_key,
+            adaptive=self.adaptive_sharding,
+        )
 
     def close(self) -> None:
         """Release the shard pool's worker processes (idempotent).
@@ -281,6 +438,9 @@ class Deco:
         if self._shard_pool is not None:
             self._shard_pool.close()
             self._shard_pool = None
+        if self._arena is not None:
+            self._arena.close()
+            self._arena = None
 
     def __enter__(self) -> "Deco":
         return self
@@ -344,8 +504,23 @@ class Deco:
             distributed: dict = {
                 "workers": self.workers,
                 "solves": self._distributed_solves,
+                "arena_enabled": self.arena,
+                "adaptive_sharding": self.adaptive_sharding,
             }
             distributed.update(self._shard_counters)
+            if self._shard_pool is not None:
+                distributed.update(self._shard_pool.counters)
+            if self._arena is not None:
+                arena_stats = self._arena.stats()
+                distributed["arena_segments"] = arena_stats["segments"]
+                distributed["arena_publishes"] = arena_stats["publishes"]
+                distributed["arena_hits"] = arena_stats["hits"]
+                distributed["arena_evictions"] = arena_stats["evictions"]
+                distributed["arena_bytes"] = arena_stats["bytes_published"]
+            if self._imbalance_rounds:
+                distributed["shard_imbalance"] = (
+                    self._imbalance_sum / self._imbalance_rounds
+                )
             stats["distributed"] = distributed
         return stats
 
@@ -401,9 +576,7 @@ class Deco:
         )
         if f is not None:
             problem = problem.with_faults(f, r, reliability_percentile=rp)
-        distributor = self._distributor(
-            workflow, region, d, deadline_percentile, f, r, rp
-        )
+        distributor = self._distributor(workflow, region, problem, f, r, rp)
         return self._solve(
             problem,
             seeds=tuple(seeds) + self._warm_starts(problem),
@@ -441,6 +614,26 @@ class Deco:
         while len(self._problems) > self._PROBLEM_CACHE_SIZE:
             self._problems.popitem(last=False)
         return problem
+
+    def adopt_problem(
+        self,
+        workflow: Workflow,
+        problem: CompiledProblem,
+        region: str | None = None,
+    ) -> None:
+        """Install a pre-compiled base problem for ``workflow``.
+
+        The service's shared-memory problem store uses this to hand an
+        engine a :class:`CompiledProblem` attached zero-copy from an
+        arena segment, so :meth:`schedule` skips compilation (and the
+        sample-tensor materialization) entirely.  The problem must be a
+        *base* compilation (placeholder deadline) for this exact
+        workflow; deadlines derive via ``with_deadline`` as usual.
+        """
+        key = (id(workflow), region)
+        self._problems[key] = (workflow, problem)
+        while len(self._problems) > self._PROBLEM_CACHE_SIZE:
+            self._problems.popitem(last=False)
 
     # Declarative API -----------------------------------------------------------
 
@@ -575,6 +768,8 @@ class Deco:
         if distributor is not None:
             for key, value in distributor.counters.items():
                 self._shard_counters[key] = self._shard_counters.get(key, 0) + value
+            self._imbalance_sum += getattr(distributor, "imbalance_sum", 0.0)
+            self._imbalance_rounds += getattr(distributor, "imbalance_rounds", 0)
         if self.require_feasible and not result.feasible_found:
             raise InfeasibleError(
                 f"no plan meets P(makespan <= {problem.deadline:g}s) >= "

@@ -26,12 +26,14 @@ via ``spawn_rng``, so splitting the run-id range across processes cannot
 perturb any individual run.
 """
 
+from repro.parallel.arena import TensorArena, arena_available
 from repro.parallel.executor import (
     ENV_WORKERS,
     ParallelExecutor,
     ShardPool,
     chunk_evenly,
     map_tasks,
+    partition_weighted,
     resolve_workers,
     workers_from_env,
 )
@@ -40,8 +42,11 @@ __all__ = [
     "ENV_WORKERS",
     "ParallelExecutor",
     "ShardPool",
+    "TensorArena",
+    "arena_available",
     "chunk_evenly",
     "map_tasks",
+    "partition_weighted",
     "resolve_workers",
     "workers_from_env",
 ]

@@ -22,7 +22,9 @@ Design notes
 
 from __future__ import annotations
 
+import math
 import os
+import pickle
 import warnings
 import weakref
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -38,6 +40,7 @@ __all__ = [
     "chunk_evenly",
     "host_cpu_count",
     "map_tasks",
+    "partition_weighted",
     "resolve_workers",
     "workers_from_env",
 ]
@@ -363,8 +366,21 @@ class ShardPool:
         self._initargs = tuple(initargs)
         self._executors: list[object | None] = [None] * self.workers
         # Replayed on every fresh worker process; version-stamped so the
-        # in-process fallback context can tell when it is stale.
-        self._prologue: list[tuple[Callable, object]] = []
+        # in-process fallback context can tell when it is stale.  Each
+        # entry carries its measured pickled payload size so every ship
+        # (broadcast or respawn replay) is accounted in ``counters``.
+        self._prologue: list[tuple[Callable, object, int]] = []
+        self._prologue_stamp: object = None
+        #: Broadcast-plane accounting: how many prologues were recorded,
+        #: how many were skipped by an unchanged content stamp, how many
+        #: times a prologue payload was actually shipped into a worker
+        #: process, and the total bytes those ships moved.
+        self.counters: dict[str, int] = {
+            "broadcasts": 0,
+            "broadcast_skipped": 0,
+            "broadcast_bytes": 0,
+            "prologue_replays": 0,
+        }
         self._version = 0
         self._shard_versions = [-1] * self.workers
         self._local_version = -1
@@ -414,7 +430,7 @@ class ShardPool:
                 self._initializer(*self._initargs)
             self._local_init = True
         if self._local_version != self._version:
-            for fn, payload in self._prologue:
+            for fn, payload, _nbytes in self._prologue:
                 fn(payload)
             self._local_version = self._version
 
@@ -448,8 +464,10 @@ class ShardPool:
         # Replay the current prologue synchronously: a begin-solve that
         # fails must surface here, not as a confusing "unknown solve"
         # from the first real job.
-        for fn, payload in self._prologue:
+        for fn, payload, nbytes in self._prologue:
             executor.submit(fn, payload).result()
+            self.counters["prologue_replays"] += 1
+            self.counters["broadcast_bytes"] += nbytes
         self._shard_versions[shard] = self._version
         return executor
 
@@ -468,14 +486,36 @@ class ShardPool:
 
     # Public API -------------------------------------------------------
 
-    def broadcast(self, fn: Callable[[_T], _R], payload: _T) -> list[_R]:
+    def broadcast(
+        self, fn: Callable[[_T], _R], payload: _T, stamp: object = None
+    ) -> list[_R]:
         """Run ``(fn, payload)`` on every shard; record it as the prologue.
 
         The recorded prologue replaces any previous one (solves are
         sequential: only the current solve's context needs replaying on
         a respawned worker).
+
+        ``stamp`` is the caller's content identity for the payload (a
+        hash, not the payload itself).  When it matches the recorded
+        prologue's stamp the broadcast is skipped *before any
+        serialization happens*: live shards already hold this exact
+        context, crashed shards will replay the recorded prologue on
+        their next spawn, and the only cost is a counter bump.
         """
-        self._prologue = [(fn, payload)]
+        if stamp is not None and self._prologue and stamp == self._prologue_stamp:
+            self.counters["broadcast_skipped"] += 1
+            if self._serial:
+                self._ensure_local()
+            return [True] * (1 if self._serial else self.workers)  # type: ignore[list-item]
+        nbytes = 0
+        if not self._serial:
+            try:
+                nbytes = len(pickle.dumps(payload, protocol=4))
+            except Exception:
+                nbytes = 0  # unpicklable payloads fail loudly in _spawn
+        self._prologue = [(fn, payload, nbytes)]
+        self._prologue_stamp = stamp
+        self.counters["broadcasts"] += 1
         self._version += 1
         self._local_version = -1  # the in-process context is now stale
         if self._serial:
@@ -601,6 +641,44 @@ def chunk_evenly(items: Sequence[_T], chunks: int) -> list[list[_T]]:
     start = 0
     for i in range(chunks):
         size = n // chunks + (1 if i < n % chunks else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def partition_weighted(items: Sequence[_T], weights: Sequence[float]) -> list[list[_T]]:
+    """Split ``items`` into ``len(weights)`` contiguous runs sized by weight.
+
+    The cost-model partitioner behind adaptive sharding: chunk ``j``
+    targets the exact quota ``n * w_j / sum(w)`` and receives its floor
+    plus at most one largest-remainder item, so every chunk size is
+    within one item of its quota.  The partition is total and
+    order-preserving (concatenating the chunks reproduces ``items``),
+    may contain empty chunks (slot alignment matters to shard-affine
+    pools), and is deterministic given ``(items, weights)`` --
+    remainder ties break toward the lower index.  Non-finite or
+    non-positive weights are replaced by the mean of the valid ones
+    (even split when none are valid).
+    """
+    if not len(weights):
+        raise ValidationError("weights must be non-empty")
+    ws = [float(w) for w in weights]
+    valid = [w for w in ws if math.isfinite(w) and w > 0.0]
+    fallback = (sum(valid) / len(valid)) if valid else 1.0
+    ws = [w if (math.isfinite(w) and w > 0.0) else fallback for w in ws]
+    n = len(items)
+    total = sum(ws)
+    quotas = [n * w / total for w in ws]
+    sizes = [int(q) for q in quotas]
+    leftover = n - sum(sizes)
+    by_remainder = sorted(
+        range(len(ws)), key=lambda j: (sizes[j] - quotas[j], j)
+    )
+    for j in by_remainder[:leftover]:
+        sizes[j] += 1
+    out: list[list[_T]] = []
+    start = 0
+    for size in sizes:
         out.append(list(items[start : start + size]))
         start += size
     return out

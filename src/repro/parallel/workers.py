@@ -20,6 +20,8 @@ objects) is what makes the determinism contract auditable:
 
 from __future__ import annotations
 
+import time
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping, Sequence
 
 from repro.cloud.simulator import CloudSimulator, ExecutionResult
@@ -47,6 +49,7 @@ __all__ = [
     "solve_plans",
     "init_beam_worker",
     "beam_begin_solve",
+    "beam_begin_solve_arena",
     "beam_screen_job",
     "beam_eval_job",
 ]
@@ -209,9 +212,17 @@ _BEAM_DECO: "Deco | None" = None
 _BEAM_BASES: "dict[str, CompiledProblem]" = {}
 _BEAM_BASE_ORDER: list[str] = []
 _BEAM_BASE_LIMIT = 4
-#: The current solve's (solve_key, derived problem); solves are
-#: sequential, so one slot suffices.
-_BEAM_PROBLEM: "tuple[int, CompiledProblem] | None" = None
+#: The current solve's (context token, derived problem); solves are
+#: sequential, so one slot suffices.  The token is an int solve id on
+#: the legacy pickled-prologue path and the arena context key (string)
+#: on the shared-memory path.
+_BEAM_PROBLEM: "tuple[object, CompiledProblem] | None" = None
+#: arena content key -> (attached segment, base problem over its arrays).
+#: Keeps the shared mapping (and the derived problem reusing it) alive
+#: across solves; LRU-bounded so a long-lived shard cannot accumulate
+#: mappings for every workflow it ever saw.
+_BEAM_SEGMENTS: "OrderedDict[str, tuple[object, CompiledProblem]]" = OrderedDict()
+_BEAM_SEGMENT_LIMIT = 4
 
 
 def init_beam_worker(spec: Mapping[str, object]) -> None:
@@ -228,6 +239,7 @@ def init_beam_worker(spec: Mapping[str, object]) -> None:
     _BEAM_PROBLEM = None
     _BEAM_BASES.clear()
     _BEAM_BASE_ORDER.clear()
+    _BEAM_SEGMENTS.clear()
 
 
 def beam_begin_solve(
@@ -281,13 +293,76 @@ def beam_begin_solve(
     return True
 
 
-def _beam_context(solve_key: int) -> "tuple[Deco, CompiledProblem]":
+def beam_begin_solve_arena(
+    payload: tuple[
+        str, str, float, float,
+        "FaultModel | None", "RecoveryPolicy | None", float,
+    ],
+) -> bool:
+    """Install one solve's problem by attaching its shared-memory segment.
+
+    The zero-copy counterpart of :func:`beam_begin_solve`: instead of a
+    pickled workflow, the payload carries the problem's arena content
+    key plus the per-solve scalars (deadline, fault metadata).  The
+    shard maps the parent's published tensors read-only, rebuilds a
+    :class:`CompiledProblem` over them (and adopts the published
+    analytic calibration, when present), and caches the attachment per
+    content key so deadline sweeps re-derive via ``with_deadline`` --
+    worker evaluation caches keep hitting exactly as on the legacy
+    path.  Raises :class:`~repro.parallel.arena.ArenaError` when the
+    segment cannot be attached; the parent falls back to the pickled
+    prologue.
+    """
+    (
+        ctx_key, arena_key, deadline, required_probability,
+        faults, recovery, reliability_required,
+    ) = payload
+    deco = _BEAM_DECO
+    if deco is None:
+        raise RuntimeError("beam worker used before init_beam_worker")
+    entry = _BEAM_SEGMENTS.get(arena_key)
+    if entry is None:
+        from repro.engine.compiler import calibration_from_segment, problem_from_segment
+        from repro.parallel.arena import attach_segment
+
+        segment = attach_segment(arena_key)
+        base = problem_from_segment(
+            segment,
+            deco.catalog,
+            deadline=1.0,
+            required_probability=0.96,
+            faults=faults,
+            recovery=recovery,
+            reliability_required=reliability_required,
+        )
+        calibration = calibration_from_segment(segment)
+        if calibration is not None:
+            deco._search._analytic_evaluator().adopt_calibration(
+                base.sample_token, *calibration
+            )
+        _BEAM_SEGMENTS[arena_key] = (segment, base)
+        while len(_BEAM_SEGMENTS) > _BEAM_SEGMENT_LIMIT:
+            # Dropping the reference detaches lazily: the finalizer
+            # closes the mapping once no derived problem aliases it.
+            _BEAM_SEGMENTS.popitem(last=False)
+    else:
+        _BEAM_SEGMENTS.move_to_end(arena_key)
+        _segment, base = entry
+    problem = base.with_deadline(
+        float(deadline), percentile=float(required_probability) * 100.0
+    )
+    global _BEAM_PROBLEM
+    _BEAM_PROBLEM = (ctx_key, problem)
+    return True
+
+
+def _beam_context(token: object) -> "tuple[Deco, CompiledProblem]":
     if _BEAM_DECO is None:
         raise RuntimeError("beam worker used before init_beam_worker")
-    if _BEAM_PROBLEM is None or _BEAM_PROBLEM[0] != solve_key:
+    if _BEAM_PROBLEM is None or _BEAM_PROBLEM[0] != token:
         raise RuntimeError(
-            f"beam worker has no problem for solve {solve_key} "
-            "(beam_begin_solve prologue missing or stale)"
+            f"beam worker has no problem for solve {token} "
+            "(begin-solve prologue missing or stale)"
         )
     return _BEAM_DECO, _BEAM_PROBLEM[1]
 
@@ -320,6 +395,7 @@ def beam_screen_job(
     solve_key, states, want_moments, want_screen, screen_samples = payload
     deco, problem = _beam_context(solve_key)
     before = _beam_counters(deco)
+    t0 = time.perf_counter()
     a_mean = a_var = probs = None
     if want_moments and states:
         a_mean, a_var = deco._search._analytic_evaluator().makespan_moments(
@@ -329,7 +405,13 @@ def beam_screen_job(
         probs = deco.backend.screen_probabilities(
             problem, list(states), screen_samples
         )
-    return a_mean, a_var, probs, _beam_delta(before, _beam_counters(deco))
+    delta = _beam_delta(before, _beam_counters(deco))
+    # Fuel for the parent's shard cost model (per-candidate EWMA): how
+    # long this chunk took and how many candidates it covered.  Monotone
+    # like every other counter, so absorbing sums them into totals.
+    delta["screen_elapsed_us"] = int((time.perf_counter() - t0) * 1e6)
+    delta["screen_candidates"] = len(states)
+    return a_mean, a_var, probs, delta
 
 
 def beam_eval_job(
@@ -346,8 +428,12 @@ def beam_eval_job(
     solve_key, states, parents, incremental = payload
     deco, problem = _beam_context(solve_key)
     before = _beam_counters(deco)
+    t0 = time.perf_counter()
     if incremental and parents and hasattr(deco.backend, "ensure_frontier"):
         for parent in parents:
             deco.backend.ensure_frontier(problem, parent)
     evals = list(deco.backend.evaluate_batch(problem, list(states))) if states else []
-    return evals, _beam_delta(before, _beam_counters(deco))
+    delta = _beam_delta(before, _beam_counters(deco))
+    delta["eval_elapsed_us"] = int((time.perf_counter() - t0) * 1e6)
+    delta["eval_candidates"] = len(states)
+    return evals, delta

@@ -266,6 +266,29 @@ class AnalyticBackend(EvaluationBackend):
         self.counters["calibrations"] += 1
         return entry
 
+    def adopt_calibration(
+        self,
+        token: int | None,
+        grids: np.ndarray,
+        means: np.ndarray,
+        variances: np.ndarray,
+    ) -> None:
+        """Install a precomputed calibration under ``token``.
+
+        The shared-memory tensor plane ships the parent's quantile grids
+        alongside the problem tensors; a worker adopting them skips its
+        own full-tensor ``np.quantile`` pass.  ``np.quantile`` is
+        deterministic on identical input bytes, so adopted and locally
+        computed calibrations are bit-identical -- adoption changes
+        where the work happens, never the numbers.
+        """
+        if token in self._calibrations:
+            self._calibrations.move_to_end(token)
+            return
+        self._calibrations[token] = (grids, means, variances)
+        while len(self._calibrations) > self.max_calibrations:
+            self._calibrations.popitem(last=False)
+
     # Propagation ------------------------------------------------------
 
     def makespan_moments(

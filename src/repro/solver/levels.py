@@ -164,6 +164,46 @@ class LevelSchedule:
             sink_slots=sink_slots,
         )
 
+    @classmethod
+    def from_arrays(
+        cls,
+        *,
+        parent_matrix: np.ndarray,
+        order: np.ndarray,
+        depth: np.ndarray,
+        rank: np.ndarray,
+        sink_slots: np.ndarray,
+        level_bounds: Sequence[Sequence[int]],
+        level_parents: Sequence[np.ndarray],
+    ) -> "LevelSchedule":
+        """Rebuild a schedule from its stored arrays (shared-memory attach).
+
+        The big arrays are used as given (zero-copy when they alias a
+        shared segment); only the small per-level ``level_columns``
+        are re-derived -- they are contiguous column copies of
+        ``level_parents``, so the rebuild is exact by construction.
+        """
+        level_columns: list[tuple[np.ndarray, ...] | None] = []
+        for gather in level_parents:
+            width = gather.shape[1]
+            if 0 < width <= _COLUMN_FANIN_MAX:
+                level_columns.append(
+                    tuple(np.ascontiguousarray(gather[:, j]) for j in range(width))
+                )
+            else:
+                level_columns.append(None)
+        return cls(
+            num_tasks=int(parent_matrix.shape[0]),
+            parent_matrix=parent_matrix,
+            order=order,
+            level_bounds=tuple((int(lo), int(hi)) for lo, hi in level_bounds),
+            level_parents=tuple(level_parents),
+            level_columns=tuple(level_columns),
+            depth=depth,
+            rank=rank,
+            sink_slots=sink_slots,
+        )
+
     @property
     def num_levels(self) -> int:
         """D, the DAG depth (Python-loop trip count of the propagation)."""

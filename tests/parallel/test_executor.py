@@ -5,6 +5,9 @@ import os
 
 import pytest
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.common.errors import ValidationError
 from repro.parallel import executor as executor_mod
 from repro.parallel.executor import (
@@ -13,6 +16,7 @@ from repro.parallel.executor import (
     ShardPool,
     chunk_evenly,
     map_tasks,
+    partition_weighted,
     resolve_workers,
     workers_from_env,
 )
@@ -289,6 +293,36 @@ class TestShardPool:
         with pytest.raises(RuntimeError, match="closed"):
             pool.submit(0, square, 1)
 
+    def test_broadcast_stamp_skips_reserialization(self):
+        pool = ShardPool(2, initializer=set_context, initargs=(0,))
+        try:
+            pool.broadcast(set_context, 21, stamp="ctx-a")
+            first = dict(pool.counters)
+            # Same stamp: nothing is pickled or shipped, only a counter.
+            pool.broadcast(set_context, 21, stamp="ctx-a")
+            assert pool.counters["broadcasts"] == first["broadcasts"]
+            assert pool.counters["broadcast_skipped"] == first["broadcast_skipped"] + 1
+            assert pool.counters["broadcast_bytes"] == first["broadcast_bytes"]
+            # Workers still hold the broadcast context after the skip.
+            assert pool.run(_context_square, [2, 3]) == [(21, 4), (21, 9)]
+            # A new stamp replaces the prologue and pays for bytes again.
+            pool.broadcast(set_context, 22, stamp="ctx-b")
+            assert pool.counters["broadcasts"] == first["broadcasts"] + 1
+            assert pool.counters["broadcast_bytes"] > first["broadcast_bytes"]
+            assert pool.run(_context_square, [2, 3]) == [(22, 4), (22, 9)]
+        finally:
+            pool.close()
+
+    def test_broadcast_without_stamp_never_skips(self):
+        pool = ShardPool(1)
+        try:
+            pool.broadcast(set_context, 5)
+            pool.broadcast(set_context, 5)
+            assert pool.counters["broadcasts"] == 2
+            assert pool.counters["broadcast_skipped"] == 0
+        finally:
+            pool.close()
+
 
 class TestShardPoolFallback:
     @pytest.fixture(autouse=True)
@@ -332,6 +366,92 @@ class TestChunkEvenly:
         items = list(range(23))
         flat = [x for chunk in chunk_evenly(items, 4) for x in chunk]
         assert flat == items
+
+
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    chunks=st.integers(min_value=1, max_value=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_chunk_evenly_partitions_totally_and_in_order(n, chunks):
+    items = list(range(n))
+    out = chunk_evenly(items, chunks)
+    # Total, order-preserving partition with no empty chunks and sizes
+    # within one item of each other.
+    assert [x for chunk in out for x in chunk] == items
+    assert all(chunk for chunk in out)
+    assert len(out) <= chunks
+    if out:
+        sizes = [len(chunk) for chunk in out]
+        assert max(sizes) - min(sizes) <= 1
+
+
+weight_values = st.one_of(
+    st.floats(min_value=1e-6, max_value=1e6, allow_nan=False, allow_infinity=False),
+    # Degenerate weights the partitioner must sanitize to the mean.
+    st.sampled_from([0.0, -1.0, float("nan"), float("inf")]),
+)
+
+
+@given(
+    n=st.integers(min_value=0, max_value=200),
+    weights=st.lists(weight_values, min_size=1, max_size=12),
+)
+@settings(max_examples=100, deadline=None)
+def test_partition_weighted_is_total_ordered_and_quota_bounded(n, weights):
+    import math
+
+    items = list(range(n))
+    out = partition_weighted(items, weights)
+    # Total, order-preserving, exactly one (possibly empty) chunk per
+    # weight -- slot alignment is what the shard-affine pool relies on.
+    assert len(out) == len(weights)
+    assert [x for chunk in out for x in chunk] == items
+    # Every chunk within one item of its exact quota (after the same
+    # degenerate-weight sanitization the partitioner applies).
+    ws = [float(w) for w in weights]
+    valid = [w for w in ws if math.isfinite(w) and w > 0.0]
+    fallback = (sum(valid) / len(valid)) if valid else 1.0
+    ws = [w if (math.isfinite(w) and w > 0.0) else fallback for w in ws]
+    total = sum(ws)
+    for chunk, w in zip(out, ws):
+        assert abs(len(chunk) - n * w / total) <= 1.0
+
+
+@given(
+    n=st.integers(min_value=0, max_value=120),
+    weights=st.lists(
+        st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=8,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_weighted_is_deterministic(n, weights):
+    items = list(range(n))
+    assert partition_weighted(items, weights) == partition_weighted(items, weights)
+
+
+class TestPartitionWeighted:
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValidationError):
+            partition_weighted([1, 2], [])
+
+    def test_uniform_weights_match_even_quota(self):
+        out = partition_weighted(list(range(10)), [1.0, 1.0, 1.0])
+        assert [len(c) for c in out] == [4, 3, 3]
+        assert [x for c in out for x in c] == list(range(10))
+
+    def test_faster_shard_gets_more_items(self):
+        out = partition_weighted(list(range(12)), [3.0, 1.0])
+        assert len(out[0]) > len(out[1])
+        assert [x for c in out for x in c] == list(range(12))
+
+    def test_keeps_empty_chunk_slots(self):
+        out = partition_weighted([1], [1.0, 1.0, 1.0])
+        assert len(out) == 3
+        assert sorted(len(c) for c in out) == [0, 0, 1]
+
 
 class TestOversubscriptionWarning:
     @pytest.fixture(autouse=True)

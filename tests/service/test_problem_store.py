@@ -1,0 +1,127 @@
+"""The service's content-addressed compiled-problem store (PR 10).
+
+One workflow submitted at several deadlines compiles the same base
+tensors every time; the store publishes them into a shared-memory
+segment once and later jobs -- on any warm worker -- attach zero-copy
+instead of recompiling.  These tests pin the publish -> hit flow, the
+stats surface, the unlink-at-close lifetime, and the opt-out.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.parallel.arena import ArenaError, arena_available, attach_segment
+from repro.service import DecoService, ServiceConfig
+from repro.service.cache import problem_store_key
+
+from .conftest import ENGINE, montage_payload
+
+needs_shm = pytest.mark.skipif(
+    not arena_available(), reason="POSIX shared memory unavailable in this sandbox"
+)
+
+
+def make_service(tmp_path, **over) -> DecoService:
+    defaults = dict(
+        journal_path=str(tmp_path / "jobs.jsonl"),
+        workers=2,
+        tenant_rate=1000.0,
+        tenant_burst=1000.0,
+        backoff_base_s=0.01,
+        engine=dict(ENGINE),
+    )
+    defaults.update(over)
+    return DecoService(ServiceConfig(**defaults))
+
+
+class TestProblemStoreKey:
+    SPEC = {"seed": 7, "num_samples": 40}
+
+    def test_deadline_and_percentile_do_not_change_the_key(self):
+        # The store hosts the *base* compilation: jobs differing only in
+        # derivation knobs must share one segment.
+        a = problem_store_key(montage_payload(), engine_spec=self.SPEC)
+        b = problem_store_key(
+            montage_payload(deadline="tight", percentile=90.0), engine_spec=self.SPEC
+        )
+        assert a == b
+        assert len(a) == 64
+
+    def test_workflow_and_tensor_knobs_change_the_key(self):
+        base = problem_store_key(montage_payload(), engine_spec=self.SPEC)
+        assert problem_store_key(montage_payload(seed=8), engine_spec=self.SPEC) != base
+        assert (
+            problem_store_key(montage_payload(), engine_spec={"seed": 8, "num_samples": 40})
+            != base
+        )
+        assert (
+            problem_store_key(montage_payload(), engine_spec={"seed": 7, "num_samples": 64})
+            != base
+        )
+
+
+@needs_shm
+class TestPublishThenHit:
+    def test_deadline_sweep_shares_one_segment(self, tmp_path):
+        with make_service(tmp_path) as svc:
+            jobs = []
+            for pct in (90.0, 94.0, 98.0):
+                jobs.append(svc.submit(montage_payload(percentile=pct)).job_id)
+            svc.run_until_idle(timeout_s=300)
+            states = [svc.job_status(j)["state"] for j in jobs]
+            store = svc.stats()["problem_store"]
+        assert states == ["completed"] * 3
+        assert store["enabled"] is True
+        assert store["keys"] == 1
+        assert store["publishes"] >= 1
+        assert store["hits"] >= 1
+        assert store["errors"] == 0
+
+    def test_segment_unlinked_at_close(self, tmp_path):
+        svc = make_service(tmp_path)
+        try:
+            skey = problem_store_key(montage_payload(), engine_spec=svc._spec)
+            svc.submit(montage_payload())
+            svc.submit(montage_payload(percentile=94.0))
+            svc.run_until_idle(timeout_s=300)
+        finally:
+            svc.close()
+        with pytest.raises(ArenaError):
+            attach_segment(skey)
+
+    def test_wlog_jobs_bypass_the_store(self, tmp_path):
+        from repro.wlog.library import scheduling_program
+
+        program = scheduling_program(
+            cloud="amazonec2",
+            workflow="montage",
+            percentile=95.0,
+            deadline_seconds=40_000.0,
+        )
+        with make_service(tmp_path) as svc:
+            job = svc.submit(
+                {"workflow": {"app": "montage", "degrees": 1.0}, "wlog": program}
+            )
+            svc.run_until_idle(timeout_s=300)
+            state = svc.job_status(job.job_id)["state"]
+            store = svc.stats()["problem_store"]
+        assert state == "completed"
+        assert store["keys"] == 0
+
+
+class TestOptOut:
+    def test_arena_false_disables_the_store(self, tmp_path):
+        with make_service(tmp_path, arena=False) as svc:
+            job = svc.submit(montage_payload())
+            svc.run_until_idle(timeout_s=300)
+            state = svc.job_status(job.job_id)["state"]
+            store = svc.stats()["problem_store"]
+        assert state == "completed"
+        assert store == {
+            "enabled": False,
+            "keys": 0,
+            "hits": 0,
+            "publishes": 0,
+            "errors": 0,
+        }

@@ -24,7 +24,7 @@ from repro.engine.deco import Deco
 from repro.parallel.executor import chunk_evenly
 from repro.solver.backends import CompiledProblem, VectorizedBackend
 from repro.solver.search import GenericSearch
-from repro.solver.shards import ShardedEvaluator
+from repro.solver.shards import ShardCostModel, ShardedEvaluator
 from repro.solver.state import PlanState, StateEval
 from repro.workflow.generators import montage
 from repro.workflow.runtime_model import RuntimeModel
@@ -203,6 +203,207 @@ class TestRepeatedShardFailures:
         assert rounds >= 2
         assert decisions == reference
         assert len(incidents) == 2, [str(w.message) for w in incidents]
+
+
+def solve_with_stats(wf, workers, **overrides):
+    kwargs = dict(seed=7, num_samples=100, max_evaluations=250)
+    kwargs.update(overrides)
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with Deco(CATALOG, workers=workers, **kwargs) as deco:
+            plan = deco.schedule(wf, "medium")
+            stats = deco.cache_stats().get("distributed", {})
+    return plan.decision_dict(), stats
+
+
+class TestArenaBitIdentity:
+    """arena x workers x incremental: the transport may not move the plan."""
+
+    KW = dict(num_samples=60, max_evaluations=120)
+
+    @pytest.fixture(scope="class")
+    def wf(self):
+        return montage(degrees=1, seed=2)
+
+    @pytest.mark.parametrize("incremental", [True, False])
+    def test_matrix_matches_serial(self, wf, incremental):
+        reference, _ = solve_once(wf, 1, incremental=incremental, **self.KW)
+        for use_arena in (True, False):
+            for workers in (2, 4):
+                decisions, _ = solve_once(
+                    wf, workers, incremental=incremental, arena=use_arena, **self.KW
+                )
+                assert decisions == reference, (
+                    f"plan diverged (arena={use_arena}, workers={workers})"
+                )
+
+    def test_arena_shrinks_the_broadcast(self, wf):
+        from repro.parallel.arena import arena_available
+
+        if not arena_available():
+            pytest.skip("POSIX shared memory unavailable in this sandbox")
+        _, arena_stats = solve_with_stats(wf, 2, **self.KW)
+        assert arena_stats["arena_enabled"] is True
+        assert arena_stats["arena_publishes"] >= 1
+        assert arena_stats["broadcast_bytes"] > 0
+        _, pickled_stats = solve_with_stats(wf, 2, arena=False, **self.KW)
+        # The arena broadcast ships a content key plus scalar deltas;
+        # the pickled prologue ships the whole compiled problem.
+        assert arena_stats["broadcast_bytes"] < pickled_stats["broadcast_bytes"]
+
+    def test_counters_exposed_via_cache_stats(self, wf):
+        _, stats = solve_with_stats(wf, 2, **self.KW)
+        for key in (
+            "workers",
+            "solves",
+            "arena_enabled",
+            "adaptive_sharding",
+            "broadcasts",
+            "broadcast_skipped",
+            "broadcast_bytes",
+            "prologue_replays",
+        ):
+            assert key in stats, key
+
+    def test_repeat_solve_skips_rebroadcast(self, wf):
+        from repro.parallel.arena import arena_available
+
+        if not arena_available():
+            pytest.skip("POSIX shared memory unavailable in this sandbox")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            with Deco(CATALOG, workers=2, seed=7, **self.KW) as deco:
+                first = deco.schedule(wf, "medium").decision_dict()
+                second = deco.schedule(wf, "medium").decision_dict()
+                stats = deco.cache_stats()["distributed"]
+        assert first == second
+        # Same problem, same deadline: the second begin-solve matches the
+        # recorded stamp and is skipped before any serialization.
+        assert stats["broadcast_skipped"] >= 1
+        assert stats["arena_hits"] >= 1
+
+
+class TestArenaWorkerKillReattach:
+    """A respawned worker re-attaches the shared segment without leaks."""
+
+    KW = dict(num_samples=60, max_evaluations=120)
+
+    def test_sigkilled_worker_reattaches_cleanly(self):
+        from repro.parallel.arena import arena_available
+
+        if not arena_available():
+            pytest.skip("POSIX shared memory unavailable in this sandbox")
+        wf = montage(degrees=1, seed=2)
+        reference, _ = solve_once(wf, 1, **self.KW)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            # Any shm handle dropped without close() in this process
+            # becomes a hard failure, not console noise.
+            warnings.simplefilter("error", ResourceWarning)
+            deco = Deco(CATALOG, workers=2, seed=7, **self.KW)
+            try:
+                deco.schedule(wf, "medium")  # spin up, publish, attach
+                for executor in deco._shard_pool._executors:
+                    if executor is not None:
+                        for proc in executor._processes.values():
+                            proc.kill()
+                with pytest.warns(RuntimeWarning, match="beam shard"):
+                    plan = deco.schedule(wf, "medium")
+                stats = deco.cache_stats()["distributed"]
+            finally:
+                deco.close()
+        assert plan.decision_dict() == reference
+        # The replacement workers replayed the arena prologue (attach by
+        # content key), not a re-pickled problem.
+        assert stats["prologue_replays"] >= 1
+        assert stats["arena_publishes"] == 1
+
+
+class TestAdaptiveShardingIdentity:
+    """Weighted partitions + stealing only move where chunks run."""
+
+    KW = dict(num_samples=60, max_evaluations=120)
+
+    def test_weighted_and_even_partitions_agree(self):
+        wf = montage(degrees=1, seed=2)
+        plans: dict[str, list] = {}
+        for label, flag in (("adaptive", True), ("even", False)):
+            with warnings.catch_warnings():
+                warnings.simplefilter("ignore", RuntimeWarning)
+                with Deco(
+                    CATALOG, workers=2, seed=7, adaptive_sharding=flag, **self.KW
+                ) as deco:
+                    # The first solve trains the cost EWMAs; the second
+                    # runs weighted (adaptive engine) vs even (control).
+                    plans[label] = [
+                        deco.schedule(wf, "medium").decision_dict() for _ in range(2)
+                    ]
+        assert plans["adaptive"] == plans["even"]
+
+
+class TestShardCostModel:
+    def test_abstains_before_data(self):
+        model = ShardCostModel()
+        assert model.weights("wf", "eval", 2) is None
+        assert model.observations == 0
+
+    def test_weights_favor_faster_shard(self):
+        model = ShardCostModel(alpha=1.0)
+        model.observe("wf", "eval", 0, candidates=10, elapsed_us=1000)  # 100 us/cand
+        model.observe("wf", "eval", 1, candidates=10, elapsed_us=4000)  # 400 us/cand
+        w = model.weights("wf", "eval", 2)
+        assert w is not None
+        assert w[0] == pytest.approx(4.0 * w[1])
+
+    def test_unseen_shard_gets_mean_cost(self):
+        model = ShardCostModel()
+        model.observe("wf", "eval", 0, candidates=10, elapsed_us=1000)
+        w = model.weights("wf", "eval", 3)
+        assert len(w) == 3
+        assert w[1] == w[2] == pytest.approx(1.0 / 100.0)
+
+    def test_ewma_blends_repeat_observations(self):
+        model = ShardCostModel(alpha=0.5)
+        model.observe("wf", "eval", 0, candidates=1, elapsed_us=100)
+        model.observe("wf", "eval", 0, candidates=1, elapsed_us=200)
+        w = model.weights("wf", "eval", 1)
+        assert w[0] == pytest.approx(1.0 / 150.0)
+
+    def test_ignores_degenerate_observations(self):
+        model = ShardCostModel()
+        model.observe("wf", "eval", 0, candidates=0, elapsed_us=100)
+        model.observe("wf", "eval", 0, candidates=10, elapsed_us=0)
+        model.observe("wf", "eval", -1, candidates=10, elapsed_us=100)
+        assert model.observations == 0
+        assert model.weights("wf", "eval", 2) is None
+
+    def test_tiers_are_independent(self):
+        model = ShardCostModel()
+        model.observe("wf", "screen", 0, candidates=100, elapsed_us=500)
+        assert model.weights("wf", "eval", 2) is None
+        assert model.weights("wf", "screen", 2) is not None
+
+    def test_snapshot_restore_roundtrip(self):
+        model = ShardCostModel()
+        model.observe("wf", "eval", 1, candidates=10, elapsed_us=3000)
+        model.observe("wf", "screen", 0, candidates=100, elapsed_us=500)
+        clone = ShardCostModel()
+        clone.restore(model.snapshot())
+        assert clone.weights("wf", "eval", 3) == model.weights("wf", "eval", 3)
+        assert clone.weights("wf", "screen", 2) == model.weights("wf", "screen", 2)
+
+    def test_lru_evicts_oldest_workflow(self):
+        model = ShardCostModel(max_workflows=2)
+        for i in range(3):
+            model.observe(f"wf{i}", "eval", 0, candidates=1, elapsed_us=100)
+        assert model.weights("wf0", "eval", 1) is None
+        assert model.weights("wf2", "eval", 1) is not None
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            ShardCostModel(alpha=0.0)
+        with pytest.raises(ValueError):
+            ShardCostModel(alpha=1.5)
 
 
 def compile_small(num_samples=48, seed=3):
